@@ -1,0 +1,78 @@
+"""Ablation (§4.1, footnote 4): credit speedup.
+
+Credit rate slightly above port rate keeps the egress buffer fed
+(throughput); more speedup means more in-flight data and deeper fabric
+queues (latency).  Sweep 0% / 2% / 5% and show the trade-off the paper
+tunes around 2%.
+"""
+
+from harness import print_series
+
+from repro.core.config import StardustConfig
+from repro.core.network import OneTierSpec, StardustNetwork
+from repro.net.addressing import PortAddress
+from repro.sim.units import MILLISECOND, gbps
+from repro.workloads.generator import UniformRandomTraffic
+
+SPEC = OneTierSpec(num_fas=6, uplinks_per_fa=4, hosts_per_fa=4)
+RATE = gbps(10)
+ADDRS = [
+    PortAddress(fa, p)
+    for fa in range(SPEC.num_fas)
+    for p in range(SPEC.hosts_per_fa)
+]
+DURATION = 2 * MILLISECOND
+
+
+def run_speedup(speedup: float):
+    config = StardustConfig(
+        fabric_link_rate_bps=RATE, host_link_rate_bps=RATE,
+        cell_size_bytes=256, cell_header_bytes=16,
+        credit_speedup=speedup,
+    )
+    net = StardustNetwork(SPEC, config=config)
+    traffic = UniformRandomTraffic(
+        net, ADDRS, utilization=0.92 * 240 / 256, packet_bytes=1000, seed=53
+    )
+    traffic.start()
+    net.run(DURATION)
+    traffic.stop()
+    net.run(DURATION // 2)
+    delivered_bps = sum(
+        i.bytes_received for i in traffic.injectors
+    ) * 8 / (1.5 * DURATION / 1e9)
+    return {
+        "delivered_gbps": delivered_bps / 1e9,
+        "latency_p99_us": net.cell_latency().pct(99) / 1000,
+        "queue_p99": net.fabric_queue_depth().pct(99),
+        "drops": net.fabric_cell_drops(),
+    }
+
+
+def test_ablation_credit_speedup(benchmark):
+    speedups = [0.0, 0.02, 0.05]
+    results = benchmark.pedantic(
+        lambda: {s: run_speedup(s) for s in speedups},
+        rounds=1, iterations=1,
+    )
+    rows = [("speedup", "delivered [Gbps]", "latency p99 [us]",
+             "queue p99 [cells]", "drops")]
+    for s, r in results.items():
+        rows.append(
+            (f"{s * 100:.0f}%", f"{r['delivered_gbps']:.2f}",
+             f"{r['latency_p99_us']:.1f}", f"{r['queue_p99']:.0f}",
+             r["drops"])
+        )
+    print_series("Ablation: credit speedup (§4.1)", rows)
+
+    # Lossless at every setting.
+    assert all(r["drops"] == 0 for r in results.values())
+    # Throughput: speedup must at least hold delivery (it exists to
+    # keep egress buffers from starving on credit-loop jitter).
+    assert results[0.02]["delivered_gbps"] >= 0.98 * results[0.0][
+        "delivered_gbps"
+    ]
+    # Latency/queue cost grows with speedup at high load.
+    assert (
+        results[0.05]["queue_p99"] >= results[0.0]["queue_p99"]
+    )

@@ -1,0 +1,80 @@
+"""Ablation (§5.3): spray arbitration policy.
+
+The paper's choice — round-robin over a periodically reshuffled random
+permutation — against two alternatives: pure random pick per cell, and
+a static per-destination link (ECMP-at-cell-granularity).  Permutation
+spray gives perfectly even link loads; random spray is close but
+noisier (bigger queue tails); static pinning collapses to flow-hashing
+behaviour and congests.
+"""
+
+from harness import print_series
+
+from repro.core.config import StardustConfig
+from repro.core.network import StardustNetwork, TwoTierSpec
+from repro.net.addressing import PortAddress
+from repro.sim.units import MILLISECOND, gbps
+from repro.workloads.generator import UniformRandomTraffic
+
+SPEC = TwoTierSpec(pods=2, fas_per_pod=4, fes_per_pod=4, spines=4,
+                   hosts_per_fa=4)
+RATE = gbps(10)
+ADDRS = [
+    PortAddress(fa, p)
+    for fa in range(SPEC.num_fas)
+    for p in range(SPEC.hosts_per_fa)
+]
+
+
+def run_mode(mode: str):
+    config = StardustConfig(
+        fabric_link_rate_bps=RATE, host_link_rate_bps=RATE,
+        cell_size_bytes=256, cell_header_bytes=16,
+    )
+    net = StardustNetwork(SPEC, config=config, spray_mode=mode)
+    traffic = UniformRandomTraffic(
+        net, ADDRS, utilization=0.85 * 240 / 256, packet_bytes=1000, seed=31
+    )
+    traffic.start()
+    net.run(2 * MILLISECOND)
+    traffic.stop()
+
+    # Per-uplink imbalance at one loaded Fabric Adapter.
+    counts = [up.tx_frames for up in net.fas[0].uplinks]
+    imbalance = (max(counts) - min(counts)) / max(max(counts), 1)
+    queues = net.fabric_queue_depth()
+    return {
+        "imbalance": imbalance,
+        "queue_p99": queues.pct(99),
+        "queue_max": queues.maximum(),
+        "latency_p99_us": net.cell_latency().pct(99) / 1000,
+        "delivered": traffic.total_received(),
+    }
+
+
+def test_ablation_spray_modes(benchmark):
+    results = benchmark.pedantic(
+        lambda: {m: run_mode(m) for m in ("permutation", "random", "static")},
+        rounds=1, iterations=1,
+    )
+    rows = [("spray mode", "uplink imbalance", "queue p99", "queue max",
+             "latency p99 [us]")]
+    for mode, r in results.items():
+        rows.append(
+            (mode, f"{r['imbalance'] * 100:.1f}%", f"{r['queue_p99']:.0f}",
+             f"{r['queue_max']:.0f}", f"{r['latency_p99_us']:.1f}")
+        )
+    print_series("Ablation: spray arbitration (§5.3)", rows)
+
+    perm, rand, static = (
+        results["permutation"], results["random"], results["static"],
+    )
+    # Permutation spray: near-perfect balance (<2%).
+    assert perm["imbalance"] < 0.02
+    # Random: same long-run balance ballpark, but worse than permutation.
+    assert perm["imbalance"] <= rand["imbalance"]
+    # Static pinning is catastrophically imbalanced and queues blow up.
+    assert static["imbalance"] > 5 * max(rand["imbalance"], 0.01)
+    assert static["queue_max"] > 2 * perm["queue_max"]
+    # Latency tail ordering follows.
+    assert perm["latency_p99_us"] <= static["latency_p99_us"]

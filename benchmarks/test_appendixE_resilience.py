@@ -1,0 +1,47 @@
+"""Appendix E: failure recovery time and reachability overhead."""
+
+from harness import print_series
+
+from repro.analysis.resilience import (
+    ReachabilityParams,
+    messages_per_table,
+    reachability_overhead_fraction,
+    recovery_time_ns,
+)
+
+
+def test_appendixE_recovery_time(benchmark):
+    def run():
+        base = ReachabilityParams()
+        sweep = {}
+        for hosts in (8_000, 32_000, 128_000):
+            params = ReachabilityParams(total_hosts=hosts)
+            sweep[hosts] = (
+                messages_per_table(params),
+                recovery_time_ns(params) / 1000,
+            )
+        return base, sweep
+
+    base, sweep = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [("hosts", "messages/table", "recovery [us]")]
+    for hosts, (m, t) in sweep.items():
+        rows.append((f"{hosts:,}", m, f"{t:.0f}"))
+    rows.append(("overhead",
+                 f"{reachability_overhead_fraction(base) * 100:.3f}%",
+                 "(paper: 0.04%)"))
+    print_series("Appendix E: reachability recovery time", rows)
+
+    # The worked example: 32K hosts -> 7 messages, 652us, 0.04%.
+    assert sweep[32_000][0] == 7
+    assert abs(sweep[32_000][1] - 652.05) < 1.0
+    assert abs(reachability_overhead_fraction(base) - 0.000384) < 1e-6
+
+    # Recovery time grows with table size but stays sub-millisecond
+    # into the 100K-host range ("hundreds of microseconds", §5.9).
+    times = [t for _m, t in sweep.values()]
+    assert times == sorted(times)
+    assert times[-1] < 3_000
+
+    # Faster message rates shrink recovery linearly.
+    fast = ReachabilityParams(cycles_between_messages=5_000)
+    assert recovery_time_ns(fast) < recovery_time_ns(ReachabilityParams())

@@ -1,0 +1,47 @@
+"""Fig 10(a): permutation throughput — Stardust vs MPTCP/DCTCP/DCQCN.
+
+32 hosts at 10G over a full-bisection 2-tier fabric, one long flow per
+host to a distinct remote host (random cross-rack permutation).  The
+paper reports mean utilization 94% (Stardust) vs 90/49/47%
+(MPTCP/DCTCP/DCQCN) on its 432-node fat-tree; at this scale the shape
+to hold is: Stardust near line rate and almost perfectly fair, ECMP
+transports far below with a starved low tail.
+"""
+
+from harness import PERM_RATE, permutation_throughput, print_series
+
+
+def test_fig10a_permutation_throughput(benchmark):
+    def run():
+        return {
+            kind: permutation_throughput(kind)
+            for kind in ("stardust", "mptcp", "dctcp", "dcqcn", "tcp")
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    line = PERM_RATE / 1e9
+    rows = [("scheme", "mean [Gbps]", "mean [%]", "p5", "min", "max")]
+    means = {}
+    for kind, rates in results.items():
+        mean = sum(rates) / len(rates)
+        means[kind] = mean
+        rows.append(
+            (kind, f"{mean:.2f}", f"{100 * mean / line:.0f}%",
+             f"{rates[1]:.2f}", f"{rates[0]:.2f}", f"{rates[-1]:.2f}")
+        )
+    print_series("Fig 10(a): per-flow throughput, permutation", rows)
+
+    star = results["stardust"]
+    star_mean = means["stardust"]
+    # Stardust: >90% mean utilization (paper: 94%).
+    assert star_mean > 0.90 * line
+    # ...and near-perfect fairness (96% of flows at the same rate).
+    assert star[0] > 0.93 * star[-1]
+    # Stardust beats every ECMP-based transport decisively.
+    for other in ("mptcp", "dctcp", "dcqcn", "tcp"):
+        assert star_mean > 1.3 * means[other]
+    # DCTCP/DCQCN land in the paper's half-capacity band.
+    assert means["dctcp"] < 0.65 * line
+    assert means["dcqcn"] < 0.65 * line
+    # MPTCP does better than single-path transports (paper's ordering).
+    assert means["mptcp"] > means["dctcp"]

@@ -1,0 +1,56 @@
+"""Fig 10(d) + Appendix C: relative silicon area/power of a Fabric
+Element vs a standard Ethernet switch, and the lookup-table math."""
+
+from harness import print_series
+
+from repro.analysis.area import (
+    FABRIC_ELEMENT_RATIOS,
+    fabric_adapter_overhead_fraction,
+    fe_table_bits,
+    table_ratio,
+    tor_table_bits,
+    voq_memory_bytes,
+)
+
+
+def test_fig10d_relative_area(benchmark):
+    ratios = benchmark.pedantic(
+        lambda: dict(FABRIC_ELEMENT_RATIOS), rounds=1, iterations=1
+    )
+    rows = [("component", "B/A (FE vs standard switch)")]
+    for key, value in ratios.items():
+        rows.append((key, f"{value * 100:.1f}%"))
+    print_series("Fig 10(d): Fabric Element area relative to a ToR", rows)
+
+    assert ratios["header_processing"] == 0.13
+    assert ratios["network_interface"] == 0.30
+    assert ratios["other_logic"] == 0.60
+    assert ratios["io"] == 0.875
+    assert ratios["area_per_tbps"] == 0.666
+    assert ratios["power_per_tbps"] == 0.648
+    # §1's "reducing silicon level requirements by 33%".
+    assert 1 - ratios["area_per_tbps"] >= 0.33
+
+
+def test_appendixC_table_sizes(benchmark):
+    def run():
+        hosts = 100_000
+        return {
+            k: (tor_table_bits(hosts, k), fe_table_bits(hosts, k),
+                table_ratio(hosts, k))
+            for k in (64, 128, 256)
+        }
+
+    tables = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [("radix", "ToR table [bits]", "FE table [bits]", "ratio")]
+    for k, (tor, fe, ratio) in tables.items():
+        rows.append((k, f"{tor:,}", f"{fe:,}", f"{ratio:.0f}x"))
+    print_series("Appendix C: lookup table sizes at 100K hosts", rows)
+
+    # §4.2: FE forwarding state is two orders of magnitude smaller.
+    for _k, (_tor, _fe, ratio) in tables.items():
+        assert ratio >= 100
+
+    # Appendix C's other claims.
+    assert voq_memory_bytes(128 * 1024) == 4 * 1024 * 1024
+    assert abs(fabric_adapter_overhead_fraction()) < 0.15

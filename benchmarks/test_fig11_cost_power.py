@@ -1,0 +1,75 @@
+"""Fig 11: relative cost (a) and power (b) of Stardust vs fat-trees."""
+
+from harness import print_series
+
+from repro.analysis.cost import (
+    FT_50G,
+    FT_100G,
+    STARDUST_25G,
+    network_cost_usd,
+    relative_cost_series,
+)
+from repro.analysis.power import (
+    power_saving_fraction,
+    relative_power_series,
+)
+
+HOSTS = [1_000, 10_000, 100_000, 1_000_000]
+
+
+def test_fig11a_relative_cost(benchmark):
+    series = benchmark.pedantic(
+        lambda: relative_cost_series(HOSTS), rounds=1, iterations=1
+    )
+    rows = [("option", *[f"{h:,}" for h in HOSTS])]
+    for name, values in series.items():
+        rows.append(
+            (name, *[f"{v:.0f}%" if v is not None else "-" for v in values])
+        )
+    print_series("Fig 11(a): network cost relative to costliest option", rows)
+
+    stardust = series[STARDUST_25G.name]
+    for i, _hosts in enumerate(HOSTS):
+        others = [
+            series[name][i]
+            for name in (FT_50G.name, FT_100G.name)
+            if series[name][i] is not None
+        ]
+        # §7: "Stardust is always the most cost effective solution."
+        assert stardust[i] is not None
+        assert all(stardust[i] <= o for o in others)
+    # §7: "cost of a large scale DCN can be cut in half" — at 1M hosts
+    # Stardust sits well below the costliest fat-tree.
+    assert stardust[-1] < 85.0
+
+
+def test_fig11b_relative_power(benchmark):
+    def run():
+        series = relative_power_series(HOSTS)
+        savings = {
+            "network@10k": power_saving_fraction(10_000),
+            "fabric@10k": power_saving_fraction(10_000, fabric_only=True),
+        }
+        return series, savings
+
+    series, savings = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [("bundle", *[f"{h:,}" for h in HOSTS])]
+    for bundle, values in series.items():
+        label = "Stardust (L=1)" if bundle == 1 else f"FT (L={bundle})"
+        rows.append(
+            (label, *[f"{v:.0f}%" if v is not None else "-" for v in values])
+        )
+    rows.append(("saving vs FT L=2, whole network @10k hosts",
+                 f"{savings['network@10k'] * 100:.0f}%"))
+    rows.append(("saving vs FT L=2, fabric only @10k hosts",
+                 f"{savings['fabric@10k'] * 100:.0f}%"))
+    print_series("Fig 11(b): power relative to hungriest option", rows)
+
+    for i, _hosts in enumerate(HOSTS):
+        column = {b: series[b][i] for b in series if series[b][i] is not None}
+        # Stardust (L=1) is the least power-hungry at every scale.
+        assert min(column, key=column.get) == 1
+
+    # §7's headline numbers: up to ~25% whole-network, 78% in-fabric.
+    assert 0.15 <= savings["network@10k"] <= 0.45
+    assert abs(savings["fabric@10k"] - 0.78) < 0.05

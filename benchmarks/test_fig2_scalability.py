@@ -1,0 +1,85 @@
+"""Fig 2: DCN scalability vs link bundling (12.8 Tbps switches).
+
+(a) hosts vs tiers; (b) devices vs hosts; (c) serial links vs hosts —
+for link bundles 1 (Stardust), 2, 4, 8.
+"""
+
+from harness import print_series
+
+from repro.sim.units import GBPS
+from repro.topology.scaling import (
+    SwitchModel,
+    fig2_network_devices,
+    fig2_network_links,
+    fig2_series_hosts_vs_tiers,
+)
+
+SWITCHES = {
+    "Stardust, 50Gx256 Port (L=1)": SwitchModel(12_800 * GBPS, bundle=1),
+    "FT, 100Gx128 Port (L=2)": SwitchModel(12_800 * GBPS, bundle=2),
+    "FT, 200Gx64 Port (L=4)": SwitchModel(12_800 * GBPS, bundle=4),
+    "FT, 400Gx32 Port (L=8)": SwitchModel(12_800 * GBPS, bundle=8),
+}
+HOST_COUNTS = [200_000, 400_000, 600_000, 800_000, 1_000_000]
+
+
+def test_fig2a_hosts_vs_tiers(benchmark):
+    series = benchmark.pedantic(
+        lambda: {
+            name: fig2_series_hosts_vs_tiers(sw)
+            for name, sw in SWITCHES.items()
+        },
+        rounds=1, iterations=1,
+    )
+    rows = [("config", "1 tier", "2 tiers", "3 tiers", "4 tiers")]
+    for name, values in series.items():
+        rows.append((name, *[f"{v:.2e}" for v in values]))
+    print_series("Fig 2(a): max end-hosts vs number of tiers", rows)
+
+    stardust = series["Stardust, 50Gx256 Port (L=1)"]
+    l8 = series["FT, 400Gx32 Port (L=8)"]
+    # The paper's headline ratios: x8 per tier of bundling advantage.
+    for n in range(4):
+        assert stardust[n] == 8 ** (n + 1) * l8[n]
+    assert stardust[0] == 10_240  # "over ten thousand servers" at 1 tier
+    assert l8[1] == 20_480  # "only 20K hosts" for 2-tier L=8
+
+
+def test_fig2b_devices_vs_hosts(benchmark):
+    series = benchmark.pedantic(
+        lambda: {
+            name: [fig2_network_devices(sw, h) for h in HOST_COUNTS]
+            for name, sw in SWITCHES.items()
+        },
+        rounds=1, iterations=1,
+    )
+    rows = [("config", *[f"{h:,}" for h in HOST_COUNTS])]
+    for name, values in series.items():
+        rows.append((name, *[str(v) for v in values]))
+    print_series("Fig 2(b): network devices vs end-hosts", rows)
+
+    for i, _hosts in enumerate(HOST_COUNTS):
+        column = [series[name][i] for name in SWITCHES]
+        # Smaller bundle -> strictly fewer devices.
+        valid = [c for c in column if c is not None]
+        assert valid == sorted(valid)
+        assert column[0] == min(valid)  # Stardust needs the fewest
+
+
+def test_fig2c_links_vs_hosts(benchmark):
+    series = benchmark.pedantic(
+        lambda: {
+            name: [fig2_network_links(sw, h) for h in HOST_COUNTS]
+            for name, sw in SWITCHES.items()
+        },
+        rounds=1, iterations=1,
+    )
+    rows = [("config", *[f"{h:,}" for h in HOST_COUNTS])]
+    for name, values in series.items():
+        rows.append((name, *[str(v) for v in values]))
+    print_series("Fig 2(c): serial links vs end-hosts", rows)
+
+    for i, _ in enumerate(HOST_COUNTS):
+        column = [series[name][i] for name in SWITCHES]
+        valid = [c for c in column if c is not None]
+        assert column[0] == min(valid)  # fewest links with L=1

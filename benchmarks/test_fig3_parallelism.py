@@ -1,0 +1,39 @@
+"""Fig 3: required parallelism vs packet size (12.8T, 256B bus, 1 GHz)."""
+
+from harness import print_series
+
+from repro.pipeline.parallelism import (
+    standard_parallelism,
+    stardust_parallelism,
+)
+
+B = 12_800_000_000_000
+SIZES = [64, 128, 256, 513, 768, 1025, 1500, 2048, 2500]
+
+
+def test_fig3_required_parallelism(benchmark):
+    def run():
+        return {
+            size: (
+                standard_parallelism(B, size),
+                stardust_parallelism(B, size),
+            )
+            for size in SIZES
+        }
+
+    points = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [("pkt size", "standard switch", "Stardust FE")]
+    for size, (std, star) in points.items():
+        rows.append((f"{size}B", f"{std:.2f}", f"{star:.2f}"))
+    print_series("Fig 3: required parallelism (12.8Tbps, 256B bus, 1GHz)",
+                 rows)
+
+    star = points[64][1]
+    # Stardust flat at B/(8 x 256B x 1GHz) = 6.25.
+    assert all(abs(s[1] - 6.25) < 1e-9 for s in points.values())
+    # Paper's callouts: ~x4 at small sizes, 41% at 513B, 18% at 1025B.
+    assert points[64][0] / star > 3.0
+    assert 1.30 <= points[513][0] / star <= 1.55
+    assert 1.10 <= points[1025][0] / star <= 1.30
+    # Sawtooth: crossing a bus boundary raises the requirement.
+    assert points[513][0] > points[256][0]

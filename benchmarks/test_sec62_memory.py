@@ -1,0 +1,46 @@
+"""§6.2's closing extrapolation and §4.1's credit sizing."""
+
+from harness import print_series
+
+from repro.analysis.memory import (
+    egress_inflight_bytes,
+    fe_buffer_bytes,
+    fe_max_latency_ns,
+    min_credit_size_bytes,
+)
+
+
+def test_sec62_memory_extrapolation(benchmark):
+    def run():
+        return {
+            "fe_memory_bytes": fe_buffer_bytes(
+                links=256, queue_cells=128, cell_bytes=256
+            ),
+            "fe_latency_ns": fe_max_latency_ns(
+                queue_cells=128, cell_bytes=256, link_rate_bps=50 * 10**9
+            ),
+            "min_credit_10T": min_credit_size_bytes(10 * 10**12),
+            "egress_inflight": egress_inflight_bytes(
+                credit_size_bytes=4096, sources=128,
+                loop_latency_ns=5_000, port_rate_bps=50 * 10**9,
+            ),
+        }
+
+    r = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        ("FE cell memory (256 links x 128 cells x 256B)",
+         f"{r['fe_memory_bytes'] / 2**20:.0f} MB (paper: 8 MB)"),
+        ("FE worst-case queueing latency",
+         f"{r['fe_latency_ns'] / 1000:.2f} us (paper: <= ~5 us)"),
+        ("min credit for a 10Tbps FA",
+         f"{r['min_credit_10T']} B (paper's prose: ~2000B)"),
+        ("egress in-flight memory, 128 sources x 4KB credits",
+         f"{r['egress_inflight'] / 1024:.0f} KB"),
+    ]
+    print_series("§6.2 extrapolation / §4.1 credit sizing", rows)
+
+    assert r["fe_memory_bytes"] == 8 * 2**20
+    assert 5_000 <= r["fe_latency_ns"] <= 5_500
+    assert r["min_credit_10T"] == 2500
+    # Egress memory stays small — the architecture's whole point.
+    assert r["egress_inflight"] < 1 * 2**20

@@ -1,0 +1,69 @@
+"""Table 2 (Appendix A): element counts of an n-tier fat-tree."""
+
+from fractions import Fraction
+
+from harness import print_series
+
+from repro.topology.scaling import (
+    fabric_switches,
+    link_bundles,
+    links_per_tor,
+    max_tors,
+    switches_per_tor,
+)
+
+K, T, L = 16, 8, 2  # radix, ToR uplinks, bundle — illustrative values
+
+
+def test_table2_element_counts(benchmark):
+    def run():
+        return {
+            n: {
+                "max_tors": max_tors(K, n),
+                "switches": fabric_switches(K, T, n),
+                "switches_per_tor": switches_per_tor(K, T, n),
+                "bundles": link_bundles(K, T, n),
+                "links_per_tor": links_per_tor(K, T, L, n),
+            }
+            for n in (1, 2, 3, 4)
+        }
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [("tiers", "max ToRs", "switches", "sw/ToR", "bundles",
+             "links/ToR")]
+    for n, r in table.items():
+        rows.append(
+            (n, r["max_tors"], r["switches"], str(r["switches_per_tor"]),
+             r["bundles"], str(r["links_per_tor"]))
+        )
+    print_series(f"Table 2 (k={K}, t={T}, l={L})", rows)
+
+    # The explicit Table 2 rows.
+    assert table[1]["max_tors"] == K
+    assert table[2]["max_tors"] == K**2 // 2
+    assert table[3]["max_tors"] == K**3 // 4
+    assert table[4]["max_tors"] == K**4 // 8
+
+    assert table[1]["switches"] == T
+    assert table[2]["switches"] == 3 * T * K // 2
+    assert table[3]["switches"] == 5 * T * K**2 // 4
+    assert table[4]["switches"] == 7 * T * K**3 // 8
+
+    assert table[1]["bundles"] == T * K
+    assert table[2]["bundles"] == T * K**2
+    assert table[3]["bundles"] == 3 * T * K**3 // 4
+    assert table[4]["bundles"] == 7 * T * K**4 // 8
+
+    assert table[1]["links_per_tor"] == T * L
+    assert table[2]["links_per_tor"] == 2 * T * L
+    assert table[3]["links_per_tor"] == 3 * T * L
+    assert table[4]["links_per_tor"] == 7 * T * L
+
+    # Column consistency: links/ToR x ToRs == bundles x l.
+    for n, r in table.items():
+        assert r["links_per_tor"] * r["max_tors"] == r["bundles"] * L
+
+    # "The maximum size of a network of n tiers ... is O((k/2)^n)":
+    # exactly 2 x (k/2)^n.
+    for n in (1, 2, 3, 4):
+        assert table[n]["max_tors"] == 2 * (K // 2) ** n

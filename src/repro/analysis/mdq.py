@@ -1,0 +1,80 @@
+"""M/D/1 queueing: the theory behind Fabric Element queues (§4.2.1).
+
+Cell arrival at a last-stage fabric link is bounded by a Poisson
+process at rate ``1/fs`` (the link utilization); service is exactly one
+cell per fabric cell time.  The stationary queue-length distribution of
+this M/D/1 queue is computed with the classic embedded-Markov-chain
+recursion; the paper's shorthand bound — tail probability
+``o(fs^-2N)`` for a queue of size N — is provided alongside so
+benchmarks can compare simulation, exact theory, and the bound
+(Fig 9, right).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+
+def _poisson_pmf(rho: float, j: int) -> float:
+    # log-space to stay finite for large j.
+    return math.exp(-rho + j * math.log(rho) - math.lgamma(j + 1))
+
+
+def md1_queue_distribution(rho: float, max_n: int = 200) -> List[float]:
+    """Stationary P[Q = n] for n = 0..max_n of an M/D/1 queue.
+
+    Uses the embedded chain at departure epochs (which by PASTA matches
+    time averages): with ``a_j`` the Poisson(rho) pmf,
+
+        p_0' known, p_{n+1} = (p_n - p_0 a_n - sum_{k=1}^{n} p_k a_{n-k+1}) / a_0
+
+    Normalized on return.  Requires rho < 1.
+    """
+    if not 0 <= rho < 1:
+        raise ValueError("utilization must be in [0, 1) for a stable queue")
+    if max_n < 0:
+        raise ValueError("max_n must be non-negative")
+    if rho == 0:
+        return [1.0] + [0.0] * max_n
+
+    a = [_poisson_pmf(rho, j) for j in range(max_n + 2)]
+    p = [0.0] * (max_n + 1)
+    p[0] = 1.0 - rho
+    if max_n >= 1:
+        p[1] = p[0] * (1 - a[0]) / a[0]
+    for n in range(1, max_n):
+        total = p[n] - p[0] * a[n]
+        for k in range(1, n + 1):
+            total -= p[k] * a[n - k + 1]
+        p[n + 1] = max(total / a[0], 0.0)
+    norm = sum(p)
+    return [x / norm for x in p]
+
+
+def md1_tail_probability(rho: float, n: int, max_n: int = 400) -> float:
+    """P[Q >= n] for an M/D/1 queue at utilization rho."""
+    if n <= 0:
+        return 1.0
+    dist = md1_queue_distribution(rho, max_n=max(max_n, n + 50))
+    return max(0.0, 1.0 - sum(dist[:n]))
+
+
+def md1_mean_queue(rho: float) -> float:
+    """Mean queue length (Pollaczek-Khinchine): rho + rho^2/(2(1-rho))."""
+    if not 0 <= rho < 1:
+        raise ValueError("utilization must be in [0, 1)")
+    return rho + rho * rho / (2 * (1 - rho))
+
+
+def speedup_tail_bound(fabric_speedup: float, n: int) -> float:
+    """The paper's §4.2.1 bound: P[queue >= n] = o(fs^-2n).
+
+    With link utilization 1/fs, the tail of the M/D/1 queue decays at
+    least as fast as (1/fs)^(2n).
+    """
+    if fabric_speedup <= 1.0:
+        raise ValueError("bound requires fabric speedup > 1")
+    if n < 0:
+        raise ValueError("queue size must be non-negative")
+    return fabric_speedup ** (-2 * n)

@@ -1,0 +1,69 @@
+"""Memory sizing (§6.2's extrapolation, §4.1's credit-size reasoning).
+
+The §6.2 simulation caps last-stage queues near 80 cells at 95% load;
+extrapolated to a 256x50G Fabric Element with a 128-cell budget per
+link, that is 8MB of cell buffering and at most ~5.2us of queueing
+latency inside the device — both reproduced here as closed forms.
+"""
+
+from __future__ import annotations
+
+from repro.sim.units import GBPS, SECOND
+
+
+def fe_buffer_bytes(
+    links: int = 256, queue_cells: int = 128, cell_bytes: int = 256
+) -> int:
+    """Total Fabric Element cell memory: links x queue depth x cell."""
+    if min(links, queue_cells, cell_bytes) < 1:
+        raise ValueError("all sizing parameters must be positive")
+    return links * queue_cells * cell_bytes
+
+
+def fe_max_latency_ns(
+    queue_cells: int = 128,
+    cell_bytes: int = 256,
+    link_rate_bps: int = 50 * GBPS,
+) -> float:
+    """Worst-case queueing delay of one full per-link queue."""
+    if queue_cells < 0:
+        raise ValueError("queue depth must be non-negative")
+    return queue_cells * cell_bytes * 8 * SECOND / link_rate_bps
+
+
+def egress_inflight_bytes(
+    credit_size_bytes: int,
+    sources: int,
+    loop_latency_ns: int,
+    port_rate_bps: int,
+) -> int:
+    """Egress memory needed to absorb in-flight data on flow control.
+
+    When the egress pauses its credit generation, every source may
+    still deliver its outstanding credit, plus the credit stream issued
+    during one control-loop latency (§4.1's minimum-credit argument).
+    """
+    if min(credit_size_bytes, sources) < 1:
+        raise ValueError("credit size and sources must be positive")
+    if loop_latency_ns < 0 or port_rate_bps <= 0:
+        raise ValueError("latency/rate must be sensible")
+    in_loop = port_rate_bps * loop_latency_ns // (8 * SECOND)
+    return sources * credit_size_bytes + int(in_loop)
+
+
+def min_credit_size_bytes(
+    fa_bandwidth_bps: int,
+    clock_hz: int = 1_000_000_000,
+    clocks_per_credit: int = 2,
+) -> int:
+    """§4.1: minimum credit = FA bandwidth / credit generation rate.
+
+    The worked example — 10 Tbps Fabric Adapter, 1 GHz, one credit
+    every 2 clocks — gives 2500B by exact arithmetic
+    (10e12 / 0.5e9 = 20000 bits); the paper's text rounds this story
+    to "2000B".  We keep the exact value.
+    """
+    if min(fa_bandwidth_bps, clock_hz, clocks_per_credit) < 1:
+        raise ValueError("all parameters must be positive")
+    credits_per_second = clock_hz // clocks_per_credit
+    return fa_bandwidth_bps // (8 * credits_per_second)

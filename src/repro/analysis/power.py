@@ -1,0 +1,119 @@
+"""Network power (Fig 11(b)).
+
+Same-bandwidth devices are compared in relative units: every fat-tree
+switch and every ToR/Fabric Adapter costs 1.0 power unit, a Fabric
+Element 0.648 (Fig 10(d)'s power/Tbps ratio).  The network's power is
+then a function of how many devices each link-bundling choice needs —
+which is where Stardust's high-radix advantage compounds with its
+per-device saving (§7: up to 25% of the whole network's power, 78%
+within the fabric alone).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.area import FABRIC_ELEMENT_RATIOS
+from repro.sim.units import GBPS
+from repro.topology.scaling import (
+    SwitchModel,
+    min_tiers_for_hosts,
+    switches_per_tor,
+)
+
+#: Relative power of a Fabric Element vs a same-bandwidth switch.
+FE_POWER_RATIO = FABRIC_ELEMENT_RATIOS["power_per_tbps"]
+
+
+def _device_counts(
+    bundle: int,
+    hosts: int,
+    hosts_per_tor: int,
+    host_rate_bps: int,
+    switch_bandwidth_bps: int,
+    lane_rate_bps: int,
+) -> Optional[tuple[int, int]]:
+    switch = SwitchModel(
+        switch_bandwidth_bps, lane_rate_bps=lane_rate_bps, bundle=bundle
+    )
+    k = switch.radix
+    tiers = min_tiers_for_hosts(k, hosts, hosts_per_tor)
+    if tiers is None:
+        return None
+    tors = -(-hosts // hosts_per_tor)
+    uplink_bps = hosts_per_tor * host_rate_bps
+    t = -(-uplink_bps // switch.port_rate_bps)
+    fabric = math.ceil(switches_per_tor(k, t, tiers) * tors)
+    return tors, fabric
+
+
+def network_power_relative(
+    bundle: int,
+    hosts: int,
+    is_stardust: bool = False,
+    hosts_per_tor: int = 40,
+    host_rate_bps: int = 100 * GBPS,
+    switch_bandwidth_bps: int = 12_800 * GBPS,
+    lane_rate_bps: int = 50 * GBPS,
+    fabric_only: bool = False,
+) -> Optional[float]:
+    """Power in ToR-equivalents for a deployment choice.
+
+    Returns None when the bundle cannot scale to ``hosts``.
+    """
+    counts = _device_counts(
+        bundle, hosts, hosts_per_tor, host_rate_bps,
+        switch_bandwidth_bps, lane_rate_bps,
+    )
+    if counts is None:
+        return None
+    tors, fabric = counts
+    per_fabric_device = FE_POWER_RATIO if is_stardust else 1.0
+    fabric_power = fabric * per_fabric_device
+    return fabric_power if fabric_only else tors + fabric_power
+
+
+def power_saving_fraction(
+    hosts: int,
+    baseline_bundle: int = 2,
+    fabric_only: bool = False,
+    **kwargs,
+) -> Optional[float]:
+    """Stardust's fractional power saving vs an L-bundled fat-tree."""
+    stardust = network_power_relative(
+        1, hosts, is_stardust=True, fabric_only=fabric_only, **kwargs
+    )
+    baseline = network_power_relative(
+        baseline_bundle, hosts, is_stardust=False,
+        fabric_only=fabric_only, **kwargs,
+    )
+    if stardust is None or baseline is None:
+        return None
+    return 1.0 - stardust / baseline
+
+
+def relative_power_series(
+    host_counts: Sequence[int],
+    bundles: Sequence[int] = (1, 2, 4, 8),
+    **kwargs,
+) -> Dict[int, List[Optional[float]]]:
+    """Fig 11(b): power of each bundling as % of the hungriest option."""
+    raw = {
+        b: [
+            network_power_relative(b, h, is_stardust=(b == 1), **kwargs)
+            for h in host_counts
+        ]
+        for b in bundles
+    }
+    result: Dict[int, List[Optional[float]]] = {b: [] for b in bundles}
+    for i, _ in enumerate(host_counts):
+        column = [raw[b][i] for b in bundles]
+        valid = [c for c in column if c is not None]
+        top = max(valid) if valid else None
+        for b in bundles:
+            value = raw[b][i]
+            result[b].append(
+                None if value is None or top is None else 100.0 * value / top
+            )
+    return result

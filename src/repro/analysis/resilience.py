@@ -1,0 +1,75 @@
+"""Failure recovery timing (Appendix E, §5.9).
+
+Reachability cells are emitted every ``c`` core clocks per link; a full
+table of N hosts takes ``M = ceil(N / (h x b))`` messages; a change must
+cross ``2n - 1`` hops and be confirmed ``th`` times.  The worked example
+(Table 4's values) gives 652us — reproduced exactly by
+:func:`recovery_time_ns` — at 0.04% bandwidth overhead.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+from repro.sim.units import GBPS
+
+
+@dataclass(frozen=True)
+class ReachabilityParams:
+    """Table 4's parameters, with its example values as defaults."""
+
+    core_frequency_hz: int = 1_000_000_000  # f
+    cycles_between_messages: int = 10_000  # c
+    bitmap_bits: int = 128  # b: FAs reported per message
+    message_bytes: int = 24  # B
+    hosts_per_fa: int = 40  # h
+    total_hosts: int = 32_000  # N
+    tiers: int = 2  # n
+    confirm_threshold: int = 3  # th
+    link_rate_bps: int = 50 * GBPS  # s
+    #: Per-hop propagation delays (ns), farthest hop first.  The worked
+    #: example uses two 100m hops (500ns) and one 10m hop (50ns).
+    propagation_ns: tuple = (500, 500, 50)
+
+    def __post_init__(self) -> None:
+        if self.tiers < 1:
+            raise ValueError("tiers must be >= 1")
+        if len(self.propagation_ns) != 2 * self.tiers - 1:
+            raise ValueError(
+                f"need {2 * self.tiers - 1} per-hop propagation delays"
+            )
+
+    @property
+    def message_interval_ns(self) -> float:
+        """t' = c / f."""
+        return self.cycles_between_messages / self.core_frequency_hz * 1e9
+
+
+def messages_per_table(params: ReachabilityParams) -> int:
+    """M = ceil(N / (h x b))."""
+    return math.ceil(
+        params.total_hosts / (params.hosts_per_fa * params.bitmap_bits)
+    )
+
+
+def recovery_time_ns(params: ReachabilityParams) -> float:
+    """Time to detect-and-propagate a failure across the whole fabric.
+
+    t x th = sum over the 2n-1 hops of (t' + pd_i) x M x th.
+    """
+    m = messages_per_table(params)
+    t_prime = params.message_interval_ns
+    return sum(
+        (t_prime + pd) * m * params.confirm_threshold
+        for pd in params.propagation_ns
+    )
+
+
+def reachability_overhead_fraction(params: ReachabilityParams) -> float:
+    """Bandwidth share of reachability cells: B x 8 x f / (c x s)."""
+    return (
+        params.message_bytes * 8 * params.core_frequency_hz
+        / (params.cycles_between_messages * params.link_rate_bps)
+    )

@@ -1,0 +1,20 @@
+"""Baseline systems the paper compares against.
+
+:mod:`repro.baselines.ethernet` — a standard output-queued Ethernet
+packet switch with ECMP flow hashing, drop-tail buffers and optional
+ECN marking.
+
+:mod:`repro.baselines.push_fabric` — a "push" data center fabric built
+from those switches on the same topologies as Stardust (§5.2's
+comparison), so host-level experiments are apples-to-apples.
+"""
+
+from repro.baselines.ethernet import EthernetSwitch, EthPort, EthConfig
+from repro.baselines.push_fabric import PushFabricNetwork
+
+__all__ = [
+    "EthernetSwitch",
+    "EthPort",
+    "EthConfig",
+    "PushFabricNetwork",
+]

@@ -1,0 +1,177 @@
+"""A standard Ethernet packet switch: the fabric Stardust replaces.
+
+Autonomous output-queued switch with:
+
+* per-output drop-tail buffers (finite, shared nothing);
+* ECMP: flows are hashed onto one uplink and stay there (§5.3's
+  "flow hashing ... 40%-80% utilization" observation), with an optional
+  per-packet spraying mode used by ablations;
+* ECN marking above a configurable queue threshold (for DCTCP/DCQCN);
+* strict-priority awareness only in the drop decision (a pushed fabric
+  has no scheduler — that is the point of Fig 7/Fig 12).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.net.addressing import DeviceId
+from repro.net.packet import Packet
+from repro.sim.engine import Simulator
+from repro.sim.entity import Entity
+from repro.sim.link import Link
+from repro.sim.stats import Histogram
+
+
+@dataclass
+class EthConfig:
+    """Ethernet switch knobs."""
+
+    #: Per-output-port buffer (the paper's comparisons use 100 full
+    #: packets; 100 x 9000B for jumbo runs).
+    port_buffer_bytes: int = 150_000
+    #: Queue depth above which departing packets are ECN-marked
+    #: (DCTCP-style marking at ~K packets).  None disables marking.
+    ecn_threshold_bytes: Optional[int] = 30_000
+    #: "flow" = ECMP per-flow hash; "packet" = per-packet spray
+    #: (ablation; reorders packets).
+    load_balance: str = "flow"
+
+    def __post_init__(self) -> None:
+        if self.port_buffer_bytes <= 0:
+            raise ValueError("buffer must be positive")
+        if self.load_balance not in ("flow", "packet"):
+            raise ValueError(f"unknown load_balance {self.load_balance!r}")
+
+
+@dataclass(eq=False)
+class EthPort:
+    """One output port of an Ethernet switch."""
+
+    neighbor: Optional[DeviceId]
+    out: Link
+    direction: str  # "up", "down", or "host"
+
+    def __post_init__(self) -> None:
+        if self.direction not in ("up", "down", "host"):
+            raise ValueError(f"bad direction {self.direction!r}")
+
+
+def _flow_hash(flow_id: int, salt: int, buckets: int) -> int:
+    """Deterministic ECMP hash (stable across runs)."""
+    digest = hashlib.md5(f"{flow_id}:{salt}".encode()).digest()
+    return int.from_bytes(digest[:4], "big") % buckets
+
+
+class EthernetSwitch(Entity):
+    """Output-queued packet switch with ECMP."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: EthConfig,
+        switch_id: DeviceId,
+        name: str,
+        tier: int = 0,
+    ) -> None:
+        super().__init__(sim, name)
+        self.config = config
+        self.switch_id = switch_id
+        self.tier = tier
+        self._ports: List[EthPort] = []
+        self._host_ports: Dict[int, EthPort] = {}
+        #: dst ToR id -> candidate down ports.
+        self._down_map: Dict[DeviceId, List[EthPort]] = {}
+        self._spray_cursor = 0
+        # Accounting.
+        self.forwarded = 0
+        self.dropped = 0
+        self.ecn_marked = 0
+        self.no_route_drops = 0
+        self.queue_depth = Histogram(f"{name}.queue_bytes")
+        self.sample_queues = False
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def add_port(
+        self,
+        out: Link,
+        direction: str,
+        neighbor: Optional[DeviceId] = None,
+        host_port_index: Optional[int] = None,
+    ) -> EthPort:
+        """Attach an output port (up/down/host)."""
+        port = EthPort(neighbor=neighbor, out=out, direction=direction)
+        self._ports.append(port)
+        if direction == "host":
+            if host_port_index is None:
+                raise ValueError("host ports need an index")
+            self._host_ports[host_port_index] = port
+        return port
+
+    def add_down_route(self, dst_tor: DeviceId, port: EthPort) -> None:
+        """Route ``dst_tor`` through ``port`` (down-table entry)."""
+        self._down_map.setdefault(dst_tor, []).append(port)
+
+    @property
+    def up_ports(self) -> List[EthPort]:
+        """Ports toward the next tier up."""
+        return [p for p in self._ports if p.direction == "up"]
+
+    @property
+    def eth_ports(self) -> List[EthPort]:
+        """All attached ports."""
+        return list(self._ports)
+
+    # ------------------------------------------------------------------
+    # Forwarding
+    # ------------------------------------------------------------------
+    def receive(self, payload: Packet, link: Link) -> None:
+        """Forward an arriving packet."""
+        self.forward(payload)
+
+    def forward(self, packet: Packet) -> None:
+        """Route ``packet`` and enqueue it on an output port."""
+        port = self._route(packet)
+        if port is None:
+            self.no_route_drops += 1
+            return
+        self._enqueue(port, packet)
+
+    def _route(self, packet: Packet) -> Optional[EthPort]:
+        dst_tor = packet.dst.fa
+        if dst_tor == self.switch_id and self._host_ports:
+            return self._host_ports.get(packet.dst.port)
+        down = [p for p in self._down_map.get(dst_tor, ()) if p.out.up]
+        if down:
+            return self._pick(packet, down)
+        ups = [p for p in self.up_ports if p.out.up]
+        if not ups:
+            return None
+        return self._pick(packet, ups)
+
+    def _pick(self, packet: Packet, candidates: List[EthPort]) -> EthPort:
+        if len(candidates) == 1:
+            return candidates[0]
+        if self.config.load_balance == "packet":
+            self._spray_cursor = (self._spray_cursor + 1) % len(candidates)
+            return candidates[self._spray_cursor]
+        index = _flow_hash(packet.flow_id, self.switch_id, len(candidates))
+        return candidates[index]
+
+    def _enqueue(self, port: EthPort, packet: Packet) -> None:
+        out = port.out
+        if self.sample_queues:
+            self.queue_depth.record(out.queued_bytes)
+        if out.queued_bytes + packet.wire_bytes > self.config.port_buffer_bytes:
+            self.dropped += 1
+            return
+        threshold = self.config.ecn_threshold_bytes
+        if threshold is not None and out.queued_bytes >= threshold:
+            packet.ecn = True
+            self.ecn_marked += 1
+        self.forwarded += 1
+        out.send(packet, packet.wire_bytes)

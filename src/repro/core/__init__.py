@@ -1,0 +1,62 @@
+"""Stardust core: the paper's primary contribution.
+
+Public surface:
+
+* :class:`StardustConfig` — every knob of the architecture.
+* :class:`StardustNetwork` with :class:`OneTierSpec` / :class:`TwoTierSpec`
+  — build and run a fabric.
+* :class:`FabricAdapter` / :class:`FabricElement` — the two device types.
+* Cells, VOQs, packing, credits, spray, reassembly, reachability — the
+  mechanisms, individually importable and testable.
+"""
+
+from repro.core.cell import Cell, CellFragment, CellKind, VoqId
+from repro.core.config import StardustConfig
+from repro.core.control import (
+    ControlPlane,
+    CreditGrant,
+    VoqDrained,
+    VoqStatus,
+)
+from repro.core.credit import EgressScheduler
+from repro.core.fabric_adapter import FabricAdapter
+from repro.core.fabric_element import FabricElement, FabricPort
+from repro.core.network import (
+    OneTierSpec,
+    StardustNetwork,
+    ThreeTierSpec,
+    TwoTierSpec,
+)
+from repro.core.packing import burst_wire_bytes, cells_for_bytes, pack_burst
+from repro.core.reachability import ReachabilityMonitor
+from repro.core.reassembly import ReassemblyEngine
+from repro.core.spray import SprayArbiter
+from repro.core.voq import SharedBufferPool, Voq
+
+__all__ = [
+    "Cell",
+    "CellFragment",
+    "CellKind",
+    "VoqId",
+    "StardustConfig",
+    "ControlPlane",
+    "CreditGrant",
+    "VoqStatus",
+    "VoqDrained",
+    "EgressScheduler",
+    "FabricAdapter",
+    "FabricElement",
+    "FabricPort",
+    "OneTierSpec",
+    "TwoTierSpec",
+    "ThreeTierSpec",
+    "StardustNetwork",
+    "pack_burst",
+    "cells_for_bytes",
+    "burst_wire_bytes",
+    "ReachabilityMonitor",
+    "ReassemblyEngine",
+    "SprayArbiter",
+    "SharedBufferPool",
+    "Voq",
+]

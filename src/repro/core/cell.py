@@ -1,0 +1,109 @@
+"""Cells: the only thing the network fabric ever sees.
+
+A data cell carries up to ``cell_payload_bytes`` of packet data as a list
+of :class:`CellFragment` records (packet packing means one cell can hold
+pieces of several packets).  The header carries exactly what §3.2/§4.2
+say it must: destination Fabric Adapter, source Fabric Adapter, VOQ
+identity, a sequence number for reassembly, and the FCI bit Fabric
+Elements piggyback congestion on.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum, auto
+from typing import Optional, Tuple
+
+from repro.net.addressing import DeviceId, PortAddress
+from repro.net.packet import Packet
+
+
+class CellKind(Enum):
+    """What a fabric frame is."""
+
+    DATA = auto()
+    REACHABILITY = auto()
+
+
+@dataclass(frozen=True)
+class VoqId:
+    """Identity of a VOQ: destination (FA, port) plus traffic class."""
+
+    dst: PortAddress
+    priority: int = 0
+
+    def __post_init__(self) -> None:
+        if self.priority < 0:
+            raise ValueError("priority must be non-negative")
+
+    def __str__(self) -> str:
+        return f"{self.dst}/tc{self.priority}"
+
+
+@dataclass(frozen=True)
+class CellFragment:
+    """A contiguous slice of one packet carried inside a cell."""
+
+    packet: Packet
+    nbytes: int
+    end_of_packet: bool
+
+    def __post_init__(self) -> None:
+        if self.nbytes <= 0:
+            raise ValueError("fragment must carry at least one byte")
+        if self.nbytes > self.packet.size_bytes:
+            raise ValueError("fragment larger than its packet")
+
+
+_cell_ids = itertools.count()
+
+
+@dataclass
+class Cell:
+    """One fabric cell (data or reachability)."""
+
+    kind: CellKind
+    dst_fa: DeviceId
+    src_fa: DeviceId
+    header_bytes: int
+    voq: Optional[VoqId] = None
+    seq: int = 0
+    fragments: Tuple[CellFragment, ...] = ()
+    fci: bool = False
+    created_ns: int = 0
+    cell_id: int = field(default_factory=lambda: next(_cell_ids))
+    # Reachability payload: the set of FA ids the sender can reach,
+    # and the sender's identity (used by the protocol only).
+    reachable: Optional[frozenset] = None
+    sender: Optional[DeviceId] = None
+
+    def __post_init__(self) -> None:
+        if self.header_bytes < 0:
+            raise ValueError("header bytes must be non-negative")
+        if self.kind is CellKind.DATA and self.voq is None:
+            raise ValueError("data cells need a VOQ id")
+
+    @property
+    def payload_bytes(self) -> int:
+        """Payload bytes carried by this cell."""
+        return sum(f.nbytes for f in self.fragments)
+
+    @property
+    def size_bytes(self) -> int:
+        """On-wire size of the cell."""
+        return self.header_bytes + self.payload_bytes
+
+    @property
+    def priority(self) -> int:
+        """Traffic class of the cell's VOQ (0 for control)."""
+        return self.voq.priority if self.voq is not None else 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self.kind is CellKind.REACHABILITY:
+            return f"<ReachCell from dev{self.sender}>"
+        return (
+            f"<Cell#{self.cell_id} fa{self.src_fa}->fa{self.dst_fa} "
+            f"voq={self.voq} seq={self.seq} {self.size_bytes}B"
+            f"{' FCI' if self.fci else ''}>"
+        )

@@ -1,0 +1,95 @@
+"""Scheduler control messages and the control crossbar.
+
+A Fabric Element is "essentially two k x k crossbars, one for data cells
+and one for control messages" (§4.2).  Data cells get the full
+event-level treatment; the control crossbar — which carries only tiny,
+strictly-paced credit requests and grants — is modelled as a fixed
+per-hop latency between Fabric Adapters.  This preserves exactly what
+matters to the results (the credit loop delay) without doubling the
+event count of every experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Protocol
+
+from repro.core.cell import VoqId
+from repro.net.addressing import DeviceId
+from repro.sim.engine import Simulator
+
+
+@dataclass(frozen=True)
+class VoqStatus:
+    """Ingress VOQ reports its cumulative enqueued byte count.
+
+    Cumulative counters make the report idempotent: a late or duplicated
+    status can never inflate the scheduler's demand estimate.
+    """
+
+    ingress_fa: DeviceId
+    voq: VoqId
+    enqueued_bytes: int
+
+
+@dataclass(frozen=True)
+class VoqDrained:
+    """Ingress VOQ tears down its outstanding demand (e.g. on reset)."""
+
+    ingress_fa: DeviceId
+    voq: VoqId
+
+
+@dataclass(frozen=True)
+class CreditGrant:
+    """Egress scheduler releases ``credit_bytes`` to an ingress VOQ."""
+
+    voq: VoqId
+    credit_bytes: int
+
+
+ControlMessage = VoqStatus | VoqDrained | CreditGrant
+
+
+class ControlEndpoint(Protocol):
+    """What the control plane delivers to (Fabric Adapters)."""
+
+    def on_control(self, message: ControlMessage) -> None:
+        """Handle a delivered control message."""
+        ...
+
+
+class ControlPlane:
+    """Delivers control messages between Fabric Adapters.
+
+    ``delay_fn(src, dst)`` returns the one-way control-path latency in
+    nanoseconds; the network builder derives it from the topology (hops
+    x per-hop latency + fiber propagation).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        delay_fn: Callable[[DeviceId, DeviceId], int],
+    ) -> None:
+        self.sim = sim
+        self._delay_fn = delay_fn
+        self._endpoints: Dict[DeviceId, ControlEndpoint] = {}
+        self.messages_sent = 0
+
+    def register(self, fa_id: DeviceId, endpoint: ControlEndpoint) -> None:
+        """Register the control endpoint for Fabric Adapter ``fa_id``."""
+        if fa_id in self._endpoints:
+            raise ValueError(f"fa {fa_id} already registered")
+        self._endpoints[fa_id] = endpoint
+
+    def send(
+        self, src: DeviceId, dst: DeviceId, message: ControlMessage
+    ) -> None:
+        """Deliver ``message`` to ``dst`` after the modeled path delay."""
+        endpoint = self._endpoints.get(dst)
+        if endpoint is None:
+            raise KeyError(f"no control endpoint for fa {dst}")
+        self.messages_sent += 1
+        delay = self._delay_fn(src, dst)
+        self.sim.schedule(delay, lambda: endpoint.on_control(message))

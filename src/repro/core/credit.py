@@ -1,0 +1,228 @@
+"""Distributed egress scheduling: the credit machinery (§3.3, §4.1).
+
+Every egress port of every Fabric Adapter runs an :class:`EgressScheduler`.
+Ingress VOQs anywhere in the data center report their demand (cumulative
+enqueued bytes — idempotent under loss or reordering of reports); the
+scheduler grants credits round-robin across VOQs with outstanding
+demand, strict-priority across traffic classes.
+
+Grants are *self-clocked*: after granting ``g`` bytes the next grant is
+scheduled ``g x 8 / credit_rate`` later, so the total credit rate tracks
+the port rate times (1 + credit speedup) regardless of grant sizes —
+a 64-byte grant to an ACK VOQ consumes 64 bytes of port bandwidth, not
+a whole credit slot.  A grant never exceeds the VOQ's outstanding
+demand, which is how the paper's scheduler can have "a view of all of
+the VOQs toward its ports".
+
+The scheduler pauses while the egress buffer is above its high
+watermark and stretches its grant gaps while FCI-marked cells arrive.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+from repro.core.cell import VoqId
+from repro.core.config import StardustConfig
+from repro.net.addressing import DeviceId
+from repro.sim.engine import Event, Simulator
+from repro.sim.units import SECOND
+
+#: A VOQ as the scheduler sees it: who holds it and which VOQ it is.
+RemoteVoq = Tuple[DeviceId, VoqId]
+
+#: Delivers a credit grant back to the ingress FA:
+#: (ingress_fa, voq, credit_bytes) -> None.
+GrantFn = Callable[[DeviceId, VoqId, int], None]
+
+
+class EgressScheduler:
+    """Demand-aware credit generator for one egress port."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: StardustConfig,
+        port_rate_bps: int,
+        grant_fn: GrantFn,
+        name: str = "egress-sched",
+    ) -> None:
+        self.sim = sim
+        self.config = config
+        self.name = name
+        self.port_rate_bps = port_rate_bps
+        self._grant_fn = grant_fn
+
+        #: Credit issue rate in bits/sec (slightly above port rate).
+        self._credit_rate_bps = port_rate_bps * (1.0 + config.credit_speedup)
+
+        # Demand bookkeeping (cumulative counters, drift-free).
+        self._enqueued: Dict[RemoteVoq, int] = {}
+        self._granted: Dict[RemoteVoq, int] = {}
+
+        # One FIFO ring of VOQs with outstanding demand per traffic
+        # class (strict priority: class 0 first).
+        self._rings: List[Deque[RemoteVoq]] = [
+            deque() for _ in range(config.traffic_classes)
+        ]
+        self._in_ring: set[RemoteVoq] = set()
+
+        # Self-clocking pump.
+        self._pump_event: Optional[Event] = None
+        self._paused = False
+        self._throttled_until_ns = -1
+
+        # Weighted round-robin state (non-strict mode).
+        self._wrr_cursor = 0
+        self._wrr_cached: Optional[List[int]] = None
+
+        # Accounting.
+        self.credits_granted = 0
+        self.credit_bytes_granted = 0
+        self.fci_marks_seen = 0
+
+    # ------------------------------------------------------------------
+    # Demand reports
+    # ------------------------------------------------------------------
+    def report(
+        self, ingress_fa: DeviceId, voq: VoqId, enqueued_bytes: int
+    ) -> None:
+        """A remote VOQ reports its cumulative enqueued byte count."""
+        key = (ingress_fa, voq)
+        current = self._enqueued.get(key, 0)
+        if enqueued_bytes > current:
+            self._enqueued[key] = enqueued_bytes
+        if self._demand(key) > 0 and key not in self._in_ring:
+            tc = min(voq.priority, len(self._rings) - 1)
+            self._rings[tc].append(key)
+            self._in_ring.add(key)
+        self._kick()
+
+    # Back-compat alias used by a few tests/tools: a bare request is a
+    # report of at least one credit's worth of demand.
+    def request(self, ingress_fa: DeviceId, voq: VoqId) -> None:
+        """Back-compat demand report: ask for effectively unlimited credits."""
+        key = (ingress_fa, voq)
+        baseline = self._granted.get(key, 0)
+        self.report(
+            ingress_fa, voq, baseline + self.config.credit_size_bytes * 2**20
+        )
+
+    def withdraw(self, ingress_fa: DeviceId, voq: VoqId) -> None:
+        """Cancel a VOQ's outstanding demand (drained / torn down)."""
+        key = (ingress_fa, voq)
+        self._enqueued[key] = self._granted.get(key, 0)
+
+    def _demand(self, key: RemoteVoq) -> int:
+        return self._enqueued.get(key, 0) - self._granted.get(key, 0)
+
+    @property
+    def active_voqs(self) -> int:
+        """VOQs currently holding outstanding demand."""
+        return len(self._in_ring)
+
+    def total_demand(self) -> int:
+        """Sum of outstanding (unreported-granted) bytes."""
+        return sum(
+            self._demand(key) for key in self._in_ring
+        )
+
+    # ------------------------------------------------------------------
+    # Gating
+    # ------------------------------------------------------------------
+    def pause(self) -> None:
+        """Stop granting (egress buffer above high watermark)."""
+        self._paused = True
+
+    def resume(self) -> None:
+        """Restart granting after a pause, if work is waiting."""
+        if self._paused:
+            self._paused = False
+            self._kick()
+
+    @property
+    def paused(self) -> bool:
+        """True while the egress buffer holds off credits."""
+        return self._paused
+
+    def fci_mark(self) -> None:
+        """An FCI-marked cell reached this port: stretch the grant gaps
+        until marks stop arriving (§4.2)."""
+        self.fci_marks_seen += 1
+        self._throttled_until_ns = self.sim.now + self.config.fci_decay_ns
+
+    # ------------------------------------------------------------------
+    # The pump
+    # ------------------------------------------------------------------
+    def _kick(self) -> None:
+        if self._pump_event is None and not self._paused and self._in_ring:
+            self._pump_event = self.sim.call_soon(self._pump)
+
+    def _pump(self) -> None:
+        self._pump_event = None
+        if self._paused:
+            return
+        ring = self._next_ring()
+        if ring is None:
+            return
+        key = ring.popleft()
+        demand = self._demand(key)
+        if demand <= 0:
+            self._in_ring.discard(key)
+            self._kick()
+            return
+        ring.append(key)  # still hungry: back to the tail
+        grant = min(self.config.credit_size_bytes, demand)
+        self._granted[key] = self._granted.get(key, 0) + grant
+        self.credits_granted += 1
+        self.credit_bytes_granted += grant
+        ingress_fa, voq = key
+        self._grant_fn(ingress_fa, voq, grant)
+        # Self-clock: the gap paid is proportional to the bytes granted.
+        gap_ns = max(1, int(grant * 8 * SECOND / self._credit_rate_bps))
+        if self.sim.now <= self._throttled_until_ns:
+            gap_ns = int(gap_ns * self.config.fci_throttle_factor)
+        self._pump_event = self.sim.schedule(gap_ns, self._pump)
+
+    def _next_ring(self) -> Optional[Deque[RemoteVoq]]:
+        """Next traffic-class ring: strict priority or WRR (§4.1)."""
+        if self.config.strict_priority:
+            for ring in self._rings:
+                if ring:
+                    return ring
+            return None
+        # Weighted round-robin: walk a precomputed interleaved pattern
+        # of class indices, skipping empty rings.
+        pattern = self._wrr_pattern()
+        for _ in range(len(pattern)):
+            tc = pattern[self._wrr_cursor % len(pattern)]
+            self._wrr_cursor += 1
+            if self._rings[tc]:
+                return self._rings[tc]
+        return None
+
+    def _wrr_pattern(self) -> List[int]:
+        if self._wrr_cached is None:
+            n = self.config.traffic_classes
+            weights = list(self.config.class_weights[:n])
+            weights += [1] * (n - len(weights))
+            # Interleave classes proportionally (largest-remainder walk)
+            # so weight (3,1) yields 0,0,1,0 rather than 0,0,0,1.
+            pattern: List[int] = []
+            credit = [0.0] * n
+            for _ in range(sum(weights)):
+                for tc in range(n):
+                    credit[tc] += weights[tc]
+                best = max(range(n), key=lambda tc: credit[tc])
+                credit[best] -= sum(weights)
+                pattern.append(best)
+            self._wrr_cached = pattern
+        return self._wrr_cached
+
+    def stop(self) -> None:
+        """Stop the grant pump permanently (teardown)."""
+        if self._pump_event is not None:
+            self._pump_event.cancel()
+            self._pump_event = None
+        self._paused = True

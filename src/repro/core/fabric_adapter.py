@@ -1,0 +1,422 @@
+"""The Fabric Adapter: the edge of a Stardust network (§4.1).
+
+Ingress: parse arriving host packets, queue them in VOQs against the
+deep shared buffer, announce non-empty VOQs to the destination port's
+egress scheduler, and on each credit dequeue a burst, pack it into
+cells and spray the cells across all uplinks that reach the
+destination Fabric Adapter.
+
+Egress: resequence and reassemble arriving cells into packets, buffer
+them shallowly per port, drain each port at line rate toward the host,
+pace the port's credit generation, throttle it when FCI-marked cells
+arrive and pause it when the shallow buffer fills.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.cell import Cell, CellKind, VoqId
+from repro.core.config import StardustConfig
+from repro.core.control import (
+    ControlMessage,
+    ControlPlane,
+    CreditGrant,
+    VoqDrained,
+    VoqStatus,
+)
+from repro.core.credit import EgressScheduler
+from repro.core.packing import pack_burst
+from repro.core.reachability import ReachabilityMonitor
+from repro.core.reassembly import ReassemblyEngine
+from repro.core.spray import SprayArbiter
+from repro.net.addressing import DeviceId, PortAddress
+from repro.net.packet import Packet, PauseFrame
+from repro.sim.engine import PeriodicTask, Simulator
+from repro.sim.entity import Entity
+from repro.sim.link import Link
+from repro.sim.stats import Histogram, RateMeter
+
+
+@dataclass
+class EgressPort:
+    """One host-facing port: shallow buffer + credit scheduler."""
+
+    index: int
+    link: Link
+    scheduler: EgressScheduler
+    delivered = None  # type: RateMeter
+    drops: int = 0
+
+
+class FabricAdapter(Entity):
+    """A Stardust edge device (ToR role)."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: StardustConfig,
+        fa_id: DeviceId,
+        name: str,
+        control: ControlPlane,
+        spray_mode: str = "permutation",
+        rng=None,
+    ) -> None:
+        super().__init__(sim, name)
+        self.config = config
+        self.fa_id = fa_id
+        self.control = control
+        control.register(fa_id, self)
+
+        from repro.core.voq import SharedBufferPool, Voq
+
+        self._voq_cls = Voq
+        self.buffer_pool = SharedBufferPool(config.ingress_buffer_bytes)
+        self._voqs: Dict[VoqId, "Voq"] = {}
+        self._report_flush_pending: set[VoqId] = set()
+
+        # Fabric side.
+        self._uplinks: List[Link] = []
+        self._uplink_reach: Dict[int, frozenset] = {}
+        self._static_reach = True
+
+        import random as _random
+
+        self._spray = SprayArbiter(
+            rng or _random.Random(config.seed ^ (0xADA9 + fa_id)),
+            reshuffle_every=config.spray_reshuffle_cells,
+            mode=spray_mode,
+        )
+
+        # Host side.
+        self.egress_ports: List[EgressPort] = []
+
+        # Egress machinery.
+        self.reassembly = ReassemblyEngine(
+            sim, self._packet_reassembled, config.reassembly_timeout_ns
+        )
+
+        # Reachability protocol (dynamic mode).
+        self._monitor: Optional[ReachabilityMonitor] = None
+        self._advertiser: Optional[PeriodicTask] = None
+        self._in_to_uplink: Dict[int, Link] = {}
+
+        # Instrumentation.
+        self.cell_latency = Histogram(f"{name}.cell_latency_ns")
+        self.packet_latency = Histogram(f"{name}.packet_latency_ns")
+        self.cells_sent = 0
+        self.cells_received = 0
+        self.packets_in = 0
+        self.packets_out = 0
+        self.ingress_drops = 0
+        self.local_switched = 0
+        self.low_latency_cells = 0
+        #: Host flow-control state (§5.4): True while PAUSE is asserted.
+        self.hosts_paused = False
+        self.pause_frames_sent = 0
+
+    # ------------------------------------------------------------------
+    # Wiring (builder API)
+    # ------------------------------------------------------------------
+    def add_uplink(self, out: Link, inbound: Link) -> None:
+        """Attach a fabric uplink (out) and its reverse (inbound)."""
+        self._uplinks.append(out)
+        self._in_to_uplink[id(inbound)] = out
+
+    def add_host_port(self, link: Link) -> EgressPort:
+        """Attach a host-facing downlink; creates its egress scheduler."""
+        index = len(self.egress_ports)
+        scheduler = EgressScheduler(
+            self.sim,
+            self.config,
+            link.rate_bps,
+            grant_fn=lambda fa, voq, nb: self._send_grant(fa, voq, nb),
+            name=f"{self.name}.p{index}.sched",
+        )
+        port = EgressPort(index=index, link=link, scheduler=scheduler)
+        port.delivered = RateMeter(f"{self.name}.p{index}.delivered")
+        self.egress_ports.append(port)
+        link.on_transmit = lambda _p, port=port: self._egress_drained(port)
+        return port
+
+    @property
+    def uplinks(self) -> List[Link]:
+        """The fabric-facing links, in attachment order."""
+        return list(self._uplinks)
+
+    def set_static_reachability(self) -> None:
+        """All live uplinks reach every destination (healthy fat-tree)."""
+        self._static_reach = True
+
+    def enable_protocol(self) -> None:
+        """Learn uplink reachability from FE advertisements."""
+        self._static_reach = False
+        self._monitor = ReachabilityMonitor(
+            self.sim,
+            self.config.reachability_period_ns,
+            self.config.reachability_up_threshold,
+            self.config.reachability_miss_threshold,
+            on_change=lambda: None,
+        )
+        for in_id in self._in_to_uplink:
+            self._monitor.track(in_id)
+        self._advertiser = PeriodicTask(
+            self.sim,
+            self.config.reachability_period_ns,
+            self._advertise,
+            phase_ns=(self.fa_id % 5 + 1)
+            * (self.config.reachability_period_ns // 8 + 1),
+        )
+
+    def _advertise(self) -> None:
+        for up in self._uplinks:
+            if not up.up:
+                continue
+            cell = Cell(
+                kind=CellKind.REACHABILITY,
+                dst_fa=0,
+                src_fa=self.fa_id,
+                header_bytes=self.config.reachability_cell_bytes,
+                sender=self.fa_id,
+                reachable=frozenset({self.fa_id}),
+            )
+            up.send(cell, self.config.reachability_cell_bytes)
+
+    def eligible_uplinks(self, dst_fa: DeviceId) -> List[Link]:
+        """Live uplinks that reach ``dst_fa`` (reachability view)."""
+        if self._static_reach:
+            return [u for u in self._uplinks if u.up]
+        assert self._monitor is not None
+        result = []
+        for in_id, up in self._in_to_uplink.items():
+            if not up.up:
+                continue
+            if dst_fa in self._monitor.reachable_via(in_id):
+                result.append(up)
+        return result
+
+    # ------------------------------------------------------------------
+    # Ingress: host packets in
+    # ------------------------------------------------------------------
+    def receive(self, payload, link: Link) -> None:
+        """Dispatch arriving packets (host side) and cells (fabric side)."""
+        if isinstance(payload, Packet):
+            self.ingress_packet(payload)
+        elif isinstance(payload, Cell):
+            if payload.kind is CellKind.REACHABILITY:
+                if self._monitor is not None:
+                    assert payload.reachable is not None
+                    self._monitor.heard(id(link), payload.reachable)
+                return
+            self._egress_cell(payload)
+        else:  # pragma: no cover - wiring error
+            raise TypeError(f"unexpected payload {type(payload).__name__}")
+
+    def ingress_packet(self, packet: Packet) -> None:
+        """Accept a packet from a host (or injector)."""
+        self.packets_in += 1
+        if packet.dst.fa == self.fa_id:
+            # Local switching: same-ToR traffic never enters the fabric.
+            self.local_switched += 1
+            self._deliver_to_port(packet)
+            return
+        tc = min(packet.priority, self.config.traffic_classes - 1)
+        voq_id = VoqId(dst=packet.dst, priority=tc)
+        voq = self._voqs.get(voq_id)
+        if voq is None:
+            voq = self._voq_cls(voq_id, self.buffer_pool)
+            self._voqs[voq_id] = voq
+        if not voq.push(packet):
+            self.ingress_drops += 1
+            return
+        self._check_host_pause()
+        if tc in self.config.low_latency_classes:
+            # §5.6: low-latency VOQs transmit immediately, without
+            # waiting a credit round-trip.  (Their aggregate bandwidth
+            # is assumed small; nothing throttles them.)
+            burst = voq.grant(packet.size_bytes)
+            if burst:
+                self._emit_burst(voq, burst)
+                self.low_latency_cells += 1
+            return
+        self._maybe_report(voq)
+
+    # ------------------------------------------------------------------
+    # Host flow control (§5.4)
+    # ------------------------------------------------------------------
+    def _check_host_pause(self) -> None:
+        threshold = self.config.host_pause_threshold
+        if threshold is None:
+            return
+        occupancy = self.buffer_pool.occupancy
+        if not self.hosts_paused and occupancy > threshold:
+            self._signal_hosts(pause=True)
+        elif (
+            self.hosts_paused
+            and occupancy < self.config.host_resume_threshold
+        ):
+            self._signal_hosts(pause=False)
+
+    def _signal_hosts(self, pause: bool) -> None:
+        self.hosts_paused = pause
+        frame = PauseFrame(pause=pause)
+        for port in self.egress_ports:
+            if port.link.up:
+                self.pause_frames_sent += 1
+                port.link.send(frame, frame.size_bytes)
+
+    def _maybe_report(self, voq) -> None:
+        """Demand reporting: immediately past the threshold, otherwise a
+        deferred flush so sub-threshold tails are reported too."""
+        unreported = voq.enqueued_bytes - voq.last_reported_bytes
+        if unreported <= 0:
+            return
+        if unreported >= self.config.voq_report_threshold_bytes:
+            self._report_now(voq)
+        elif voq.id not in self._report_flush_pending:
+            self._report_flush_pending.add(voq.id)
+            self.sim.schedule(
+                self.config.voq_report_flush_ns,
+                lambda: self._flush_report(voq),
+            )
+
+    def _flush_report(self, voq) -> None:
+        self._report_flush_pending.discard(voq.id)
+        if voq.enqueued_bytes > voq.last_reported_bytes:
+            self._report_now(voq)
+
+    def _report_now(self, voq) -> None:
+        voq.last_reported_bytes = voq.enqueued_bytes
+        self.control.send(
+            self.fa_id,
+            voq.id.dst.fa,
+            VoqStatus(
+                ingress_fa=self.fa_id,
+                voq=voq.id,
+                enqueued_bytes=voq.enqueued_bytes,
+            ),
+        )
+
+    def voq(self, voq_id: VoqId):
+        """The VOQ for ``voq_id`` (tests/instrumentation)."""
+        return self._voqs.get(voq_id)
+
+    @property
+    def voq_count(self) -> int:
+        """Number of VOQs ever instantiated (empty ones cost nothing)."""
+        return len(self._voqs)
+
+    def total_queued_bytes(self) -> int:
+        """Bytes currently queued across all VOQs."""
+        return sum(v.bytes for v in self._voqs.values())
+
+    # ------------------------------------------------------------------
+    # Control plane
+    # ------------------------------------------------------------------
+    def on_control(self, message: ControlMessage) -> None:
+        """Handle a scheduler control message (status/grant)."""
+        if isinstance(message, VoqStatus):
+            port = self.egress_ports[message.voq.dst.port]
+            port.scheduler.report(
+                message.ingress_fa, message.voq, message.enqueued_bytes
+            )
+        elif isinstance(message, VoqDrained):
+            port = self.egress_ports[message.voq.dst.port]
+            port.scheduler.withdraw(message.ingress_fa, message.voq)
+        elif isinstance(message, CreditGrant):
+            self._apply_grant(message.voq, message.credit_bytes)
+        else:  # pragma: no cover
+            raise TypeError(f"unknown control message {message!r}")
+
+    def _send_grant(
+        self, ingress_fa: DeviceId, voq: VoqId, nbytes: int
+    ) -> None:
+        self.control.send(
+            self.fa_id, ingress_fa, CreditGrant(voq=voq, credit_bytes=nbytes)
+        )
+
+    def _apply_grant(self, voq_id: VoqId, credit_bytes: int) -> None:
+        voq = self._voqs.get(voq_id)
+        if voq is None:
+            return
+        burst = voq.grant(credit_bytes)
+        self._check_host_pause()  # pool drained: maybe resume hosts
+        if not burst:
+            return
+        self._emit_burst(voq, burst)
+
+    def _emit_burst(self, voq, burst: List[Packet]) -> None:
+        """Chop a dequeued burst into cells and spray them (§3.4)."""
+        voq_id = voq.id
+        cells = pack_burst(
+            burst,
+            payload_bytes=self.config.cell_payload_bytes,
+            header_bytes=self.config.cell_header_bytes,
+            dst_fa=voq_id.dst.fa,
+            src_fa=self.fa_id,
+            voq=voq_id,
+            first_seq=voq.next_seq,
+            created_ns=self.sim.now,
+            packing=self.config.packet_packing,
+        )
+        voq.take_seq(len(cells))
+        self._spray_cells(voq_id.dst.fa, cells)
+
+    def _spray_cells(self, dst_fa: DeviceId, cells: List[Cell]) -> None:
+        links = self.eligible_uplinks(dst_fa)
+        if not links:
+            # Destination unreachable right now; the burst is lost the
+            # way a real FA would lose it (reassembly timeout covers
+            # whatever partially arrived).
+            self.ingress_drops += len(cells)
+            return
+        for cell in cells:
+            link = self._spray.pick(dst_fa, links)
+            self.cells_sent += 1
+            link.send(cell, cell.size_bytes)
+
+    # ------------------------------------------------------------------
+    # Egress: cells in, packets out
+    # ------------------------------------------------------------------
+    def _egress_cell(self, cell: Cell) -> None:
+        self.cells_received += 1
+        self.cell_latency.record(self.sim.now - cell.created_ns)
+        if cell.fci and cell.voq is not None:
+            port = self.egress_ports[cell.voq.dst.port]
+            port.scheduler.fci_mark()
+        self.reassembly.receive(cell)
+
+    def _packet_reassembled(self, packet: Packet, voq: VoqId) -> None:
+        self._deliver_to_port(packet)
+
+    def _deliver_to_port(self, packet: Packet) -> None:
+        port = self.egress_ports[packet.dst.port]
+        cap = self.config.egress_buffer_bytes
+        if port.link.queued_bytes + packet.size_bytes > cap:
+            port.drops += 1
+            return
+        self.packets_out += 1
+        self.packet_latency.record(self.sim.now - packet.created_ns)
+        port.delivered.record(self.sim.now, packet.size_bytes)
+        port.link.send(packet, packet.wire_bytes)
+        if port.link.queued_bytes > cap * self.config.egress_high_watermark:
+            port.scheduler.pause()
+
+    def _egress_drained(self, port: EgressPort) -> None:
+        cap = self.config.egress_buffer_bytes
+        if (
+            port.scheduler.paused
+            and port.link.queued_bytes <= cap * self.config.egress_low_watermark
+        ):
+            port.scheduler.resume()
+
+    # ------------------------------------------------------------------
+    def stop(self) -> None:
+        """Stop schedulers and protocol tasks (teardown)."""
+        for port in self.egress_ports:
+            port.scheduler.stop()
+        if self._advertiser is not None:
+            self._advertiser.stop()
+        if self._monitor is not None:
+            self._monitor.stop()

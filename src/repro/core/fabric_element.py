@@ -1,0 +1,236 @@
+"""The Fabric Element: a radically simple cell switch (§4.2).
+
+A Fabric Element never parses packets.  It keeps one table — destination
+Fabric Adapter to outgoing links — sprays cells across all eligible
+links (down-routes preferred, else up), marks FCI on cells leaving
+through a congested queue, and participates in the reachability
+protocol.  That is the entire device; everything a normal switch does
+besides this (header processing, big lookup tables, per-flow state,
+deep buffers) is deliberately absent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set
+
+from repro.core.cell import Cell, CellKind
+from repro.core.config import StardustConfig
+from repro.core.reachability import ReachabilityMonitor
+from repro.core.spray import SprayArbiter
+from repro.net.addressing import DeviceId
+from repro.sim.engine import PeriodicTask, Simulator
+from repro.sim.entity import Entity
+from repro.sim.link import Link
+from repro.sim.stats import Histogram
+
+
+@dataclass(eq=False)  # identity semantics: ports are unique physical objects
+class FabricPort:
+    """One full-duplex attachment of a Fabric Element."""
+
+    neighbor: DeviceId
+    out: Link
+    direction: str  # "up" (toward spine) or "down" (toward edge)
+
+    def __post_init__(self) -> None:
+        if self.direction not in ("up", "down"):
+            raise ValueError(f"bad direction {self.direction!r}")
+
+
+class FabricElement(Entity):
+    """A cell switch.  ``tier`` 1 is adjacent to Fabric Adapters."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: StardustConfig,
+        fe_id: DeviceId,
+        tier: int,
+        name: str,
+        spray_mode: str = "permutation",
+        rng=None,
+    ) -> None:
+        super().__init__(sim, name)
+        self.config = config
+        self.fe_id = fe_id
+        self.tier = tier
+        self._ports: List[FabricPort] = []
+        self._in_to_port: Dict[int, FabricPort] = {}
+
+        # Forwarding view.  down_map: dst FA -> ports whose subtree holds
+        # it.  up_eligible: dst FA -> up ports advertising it (dynamic
+        # mode) or all live up ports (static mode).
+        self._down_map: Dict[DeviceId, List[FabricPort]] = {}
+        self._up_map: Dict[DeviceId, List[FabricPort]] = {}
+        self._static_up_all = False
+
+        import random as _random
+
+        self._spray = SprayArbiter(
+            rng or _random.Random(config.seed ^ (0x5EED + fe_id)),
+            reshuffle_every=config.spray_reshuffle_cells,
+            mode=spray_mode,
+        )
+
+        # Reachability protocol state (dynamic mode only).
+        self._monitor: Optional[ReachabilityMonitor] = None
+        self._advertiser: Optional[PeriodicTask] = None
+
+        # Instrumentation: queue depth (in cells) observed by arriving
+        # cells on down ports — the paper's Fig 9 (right).
+        self.down_queue_depth = Histogram(f"{name}.down_queue_cells")
+        self.sample_down_queues = False
+        self.cells_forwarded = 0
+        self.cells_fci_marked = 0
+        self.no_route_drops = 0
+
+    # ------------------------------------------------------------------
+    # Wiring (builder API)
+    # ------------------------------------------------------------------
+    def add_port(
+        self, neighbor: DeviceId, out: Link, inbound: Link, direction: str
+    ) -> FabricPort:
+        """Attach a fabric port (out link + inbound link + direction)."""
+        port = FabricPort(neighbor=neighbor, out=out, direction=direction)
+        self._ports.append(port)
+        self._in_to_port[id(inbound)] = port
+        return port
+
+    @property
+    def fabric_ports(self) -> List[FabricPort]:
+        """All attached ports, in attachment order."""
+        return list(self._ports)
+
+    @property
+    def up_ports(self) -> List[FabricPort]:
+        """Ports toward the next tier up."""
+        return [p for p in self._ports if p.direction == "up"]
+
+    @property
+    def down_ports(self) -> List[FabricPort]:
+        """Ports toward the edge."""
+        return [p for p in self._ports if p.direction == "down"]
+
+    def set_static_reachability(
+        self,
+        down_map: Dict[DeviceId, List[FabricPort]],
+        up_reaches_everything: bool = True,
+    ) -> None:
+        """Install forwarding state directly (reachability='static')."""
+        self._down_map = {d: list(ps) for d, ps in down_map.items()}
+        self._static_up_all = up_reaches_everything
+
+    def enable_protocol(self) -> None:
+        """Run the live reachability protocol (reachability='dynamic')."""
+        self._monitor = ReachabilityMonitor(
+            self.sim,
+            self.config.reachability_period_ns,
+            self.config.reachability_up_threshold,
+            self.config.reachability_miss_threshold,
+            self._rebuild_tables,
+        )
+        for in_link_id in self._in_to_port:
+            self._monitor.track(in_link_id)
+        self._advertiser = PeriodicTask(
+            self.sim,
+            self.config.reachability_period_ns,
+            self._advertise,
+            phase_ns=(self.fe_id % 7 + 1)
+            * (self.config.reachability_period_ns // 8 + 1),
+        )
+
+    # ------------------------------------------------------------------
+    # Reachability protocol
+    # ------------------------------------------------------------------
+    def _down_reachable(self) -> FrozenSet[DeviceId]:
+        return frozenset(self._down_map.keys())
+
+    def _all_reachable(self) -> FrozenSet[DeviceId]:
+        return frozenset(self._down_map.keys()) | frozenset(
+            self._up_map.keys()
+        )
+
+    def _advertise(self) -> None:
+        down_set = self._down_reachable()
+        full_set = self._all_reachable()
+        for port in self._ports:
+            if not port.out.up:
+                continue
+            # Up-neighbors must only hear what we reach *downward*
+            # (up/down routing keeps the fabric loop-free); down-neighbors
+            # hear everything we can reach.
+            advertised = down_set if port.direction == "up" else full_set
+            cell = Cell(
+                kind=CellKind.REACHABILITY,
+                dst_fa=0,  # reachability cells are per-link, not routed
+                src_fa=self.fe_id,
+                header_bytes=self.config.reachability_cell_bytes,
+                sender=self.fe_id,
+                reachable=advertised,
+            )
+            port.out.send(cell, self.config.reachability_cell_bytes)
+
+    def _rebuild_tables(self) -> None:
+        """Recompute forwarding maps from the monitor's learned state."""
+        assert self._monitor is not None
+        down: Dict[DeviceId, List[FabricPort]] = {}
+        up: Dict[DeviceId, List[FabricPort]] = {}
+        for in_link, port in self._in_to_port.items():
+            learned = self._monitor.reachable_via(in_link)
+            target = down if port.direction == "down" else up
+            for dst in learned:
+                target.setdefault(dst, []).append(port)
+        self._down_map = down
+        self._up_map = up
+
+    def _on_reachability_cell(self, cell: Cell, in_link: Link) -> None:
+        if self._monitor is None:
+            return  # static mode ignores protocol traffic
+        assert cell.reachable is not None
+        self._monitor.heard(id(in_link), cell.reachable)
+
+    # ------------------------------------------------------------------
+    # Data path
+    # ------------------------------------------------------------------
+    def receive(self, payload: Cell, link: Link) -> None:
+        """Handle an arriving cell (data or reachability)."""
+        if payload.kind is CellKind.REACHABILITY:
+            self._on_reachability_cell(payload, link)
+            return
+        self._forward(payload)
+
+    def eligible_ports(self, dst_fa: DeviceId) -> List[FabricPort]:
+        """Live ports usable toward ``dst_fa`` (down-routes preferred)."""
+        down = [
+            p for p in self._down_map.get(dst_fa, ()) if p.out.up
+        ]
+        if down:
+            return down
+        if self._static_up_all:
+            return [p for p in self.up_ports if p.out.up]
+        return [p for p in self._up_map.get(dst_fa, ()) if p.out.up]
+
+    def _forward(self, cell: Cell) -> None:
+        ports = self.eligible_ports(cell.dst_fa)
+        if not ports:
+            self.no_route_drops += 1
+            return
+        port = self._spray.pick(cell.dst_fa, ports)
+        out = port.out
+        # FCI: piggyback congestion on cells leaving a congested queue.
+        if out.queued_frames >= self.config.fci_threshold_cells:
+            cell.fci = True
+            self.cells_fci_marked += 1
+        if self.sample_down_queues and port.direction == "down":
+            self.down_queue_depth.record(out.queued_frames)
+        self.cells_forwarded += 1
+        out.send(cell, cell.size_bytes)
+
+    # ------------------------------------------------------------------
+    def stop(self) -> None:
+        """Stop protocol tasks (teardown)."""
+        if self._advertiser is not None:
+            self._advertiser.stop()
+        if self._monitor is not None:
+            self._monitor.stop()

@@ -1,0 +1,125 @@
+"""Packet packing: chopping a credit-worth burst of packets into cells.
+
+§3.4: when a VOQ receives a credit it treats the dequeued burst as one
+byte stream and slices it into maximum-size cells, so a cell may carry
+the tail of one packet, several whole packets and the head of another.
+Only the final cell of a burst may be short.  Without packing (the
+ablation, and the pre-Jericho "Arad" behaviour) every packet is chopped
+independently, so every packet's last cell is short — the waste Fig 8
+quantifies.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from repro.core.cell import Cell, CellFragment, CellKind, VoqId
+from repro.net.packet import Packet
+
+
+def pack_burst(
+    packets: Sequence[Packet],
+    *,
+    payload_bytes: int,
+    header_bytes: int,
+    dst_fa: int,
+    src_fa: int,
+    voq: VoqId,
+    first_seq: int,
+    created_ns: int = 0,
+    packing: bool = True,
+) -> List[Cell]:
+    """Chop ``packets`` into cells.
+
+    Returns the cells in transmission order, sequence-numbered starting
+    at ``first_seq``.  With ``packing=False`` each packet starts a fresh
+    cell (no fragments of different packets share a cell).
+    """
+    if payload_bytes <= 0:
+        raise ValueError("cell payload must be positive")
+    if not packets:
+        return []
+
+    cells: List[Cell] = []
+    seq = first_seq
+
+    def emit(fragments: List[CellFragment]) -> None:
+        """Close the current cell and append it to the burst."""
+        nonlocal seq
+        cells.append(
+            Cell(
+                kind=CellKind.DATA,
+                dst_fa=dst_fa,
+                src_fa=src_fa,
+                header_bytes=header_bytes,
+                voq=voq,
+                seq=seq,
+                fragments=tuple(fragments),
+                created_ns=created_ns,
+            )
+        )
+        seq += 1
+
+    if packing:
+        current: List[CellFragment] = []
+        room = payload_bytes
+        for packet in packets:
+            remaining = packet.size_bytes
+            while remaining > 0:
+                take = min(room, remaining)
+                remaining -= take
+                current.append(
+                    CellFragment(packet, take, end_of_packet=remaining == 0)
+                )
+                room -= take
+                if room == 0:
+                    emit(current)
+                    current = []
+                    room = payload_bytes
+        if current:
+            emit(current)
+    else:
+        for packet in packets:
+            remaining = packet.size_bytes
+            while remaining > 0:
+                take = min(payload_bytes, remaining)
+                remaining -= take
+                emit(
+                    [CellFragment(packet, take, end_of_packet=remaining == 0)]
+                )
+
+    return cells
+
+
+def cells_for_bytes(
+    nbytes: int, payload_bytes: int, packing: bool = True
+) -> int:
+    """How many cells a contiguous burst of ``nbytes`` needs.
+
+    For unpacked mode this is per-packet; callers sum per packet.
+    Useful for closed-form checks and the pipeline model.
+    """
+    if nbytes < 0:
+        raise ValueError("bytes must be non-negative")
+    if payload_bytes <= 0:
+        raise ValueError("cell payload must be positive")
+    return -(-nbytes // payload_bytes)
+
+
+def burst_wire_bytes(
+    packets: Iterable[Packet],
+    *,
+    payload_bytes: int,
+    header_bytes: int,
+    packing: bool = True,
+) -> int:
+    """Total fabric bytes (headers included) for a burst of packets."""
+    if packing:
+        total = sum(p.size_bytes for p in packets)
+        ncells = cells_for_bytes(total, payload_bytes)
+    else:
+        ncells = sum(
+            cells_for_bytes(p.size_bytes, payload_bytes) for p in packets
+        )
+        total = sum(p.size_bytes for p in packets)
+    return total + ncells * header_bytes

@@ -1,0 +1,73 @@
+"""Spray arbitration: per-destination round-robin over a rotating
+random permutation of eligible links (§5.3).
+
+The arbiter walks the eligible link set in a random permutation order
+and reshuffles the permutation every few rounds, so transient
+synchronization between packet arrival patterns and the walk order
+cannot persist.  Ablation modes (pure random pick, static hash) exist so
+benchmarks can show why the paper's choice wins.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Hashable, List, Optional, Sequence, TypeVar
+
+L = TypeVar("L", bound=Hashable)
+
+
+class SprayArbiter:
+    """Chooses the next link for a (destination, link-set) stream."""
+
+    MODES = ("permutation", "random", "static")
+
+    def __init__(
+        self,
+        rng: random.Random,
+        reshuffle_every: int = 64,
+        mode: str = "permutation",
+    ) -> None:
+        if mode not in self.MODES:
+            raise ValueError(f"unknown spray mode {mode!r}")
+        if reshuffle_every < 1:
+            raise ValueError("reshuffle period must be >= 1")
+        self._rng = rng
+        self._reshuffle_every = reshuffle_every
+        self.mode = mode
+        # Per destination: (permutation, cursor, cells_since_shuffle).
+        self._state: Dict[Hashable, tuple[list, int, int]] = {}
+
+    def pick(self, dst: Hashable, links: Sequence[L]) -> L:
+        """The link to use for the next cell toward ``dst``.
+
+        ``links`` is the currently eligible set; if it changed since the
+        last call (reachability update) the walk restarts on the new set.
+        """
+        if not links:
+            raise ValueError(f"no eligible links toward {dst}")
+        if self.mode == "random":
+            return self._rng.choice(list(links))
+        if self.mode == "static":
+            # ECMP-like: a fixed link per destination (ablation only).
+            return links[hash(dst) % len(links)]
+
+        state = self._state.get(dst)
+        if state is None or set(state[0]) != set(links):
+            perm = list(links)
+            self._rng.shuffle(perm)
+            state = (perm, 0, 0)
+        perm, cursor, since = state
+        link = perm[cursor]
+        cursor += 1
+        since += 1
+        if cursor >= len(perm):
+            cursor = 0
+            if since >= self._reshuffle_every:
+                self._rng.shuffle(perm)
+                since = 0
+        self._state[dst] = (perm, cursor, since)
+        return link
+
+    def forget(self, dst: Hashable) -> None:
+        """Drop per-destination state (device removed)."""
+        self._state.pop(dst, None)

@@ -1,0 +1,26 @@
+"""Packet-level substrate: packets, Ethernet framing, flows, addresses."""
+
+from repro.net.addressing import DeviceId, PortAddress
+from repro.net.packet import (
+    ETHERNET_HEADER_BYTES,
+    ETHERNET_OVERHEAD_BYTES,
+    MAX_ETHERNET_PAYLOAD,
+    MIN_ETHERNET_FRAME,
+    Packet,
+    wire_size,
+)
+from repro.net.flow import Flow, FlowStats, FlowTracker
+
+__all__ = [
+    "DeviceId",
+    "PortAddress",
+    "Packet",
+    "wire_size",
+    "ETHERNET_HEADER_BYTES",
+    "ETHERNET_OVERHEAD_BYTES",
+    "MIN_ETHERNET_FRAME",
+    "MAX_ETHERNET_PAYLOAD",
+    "Flow",
+    "FlowStats",
+    "FlowTracker",
+]

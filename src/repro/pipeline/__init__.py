@@ -1,0 +1,25 @@
+"""Device-level pipeline throughput models (Figs 3 and 8, Appendix B)."""
+
+from repro.pipeline.parallelism import (
+    packet_rate_pps,
+    required_parallelism,
+    stardust_parallelism,
+    standard_parallelism,
+)
+from repro.pipeline.switch_model import (
+    DesignThroughput,
+    NetFpgaModel,
+    SwitchDesign,
+    trace_throughput,
+)
+
+__all__ = [
+    "packet_rate_pps",
+    "required_parallelism",
+    "standard_parallelism",
+    "stardust_parallelism",
+    "NetFpgaModel",
+    "SwitchDesign",
+    "DesignThroughput",
+    "trace_throughput",
+]

@@ -1,0 +1,80 @@
+"""Appendix B: how many packets a switch must process per clock.
+
+For a switch of bandwidth ``B`` bits/s, packets of ``S`` bytes arrive at
+``R = B / (8 x (S + G))`` packets per second (``G`` = preamble + IPG).
+A pipeline clocked at ``f`` processing one unit per cycle handles ``f``
+units/s, so the required parallelism is ``P = R_units / f``.
+
+A *standard* switch's unit is a packet, but a packet also occupies
+``ceil(S / W)`` slots of the ``W``-byte-wide data path, and the last
+slot is mostly wasted for unaligned sizes — the sawtooth of Fig 3.  A
+Stardust Fabric Element's unit is a full data-path-width cell carved
+from packed data, so its parallelism is flat in packet size.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.net.packet import ETHERNET_OVERHEAD_BYTES
+
+
+def packet_rate_pps(
+    bandwidth_bps: int, packet_bytes: int, gap_bytes: int = ETHERNET_OVERHEAD_BYTES
+) -> float:
+    """Equation (1): packets/second at full line rate."""
+    if packet_bytes <= 0:
+        raise ValueError("packet size must be positive")
+    if bandwidth_bps <= 0:
+        raise ValueError("bandwidth must be positive")
+    return bandwidth_bps / (8 * (packet_bytes + gap_bytes))
+
+
+def required_parallelism(
+    bandwidth_bps: int,
+    packet_bytes: int,
+    clock_hz: int,
+    cycles_per_packet: int = 1,
+    gap_bytes: int = ETHERNET_OVERHEAD_BYTES,
+) -> float:
+    """Equation (3): P = R / (f / c) — pipelines needed at packet rate."""
+    if clock_hz <= 0 or cycles_per_packet <= 0:
+        raise ValueError("clock and cycles must be positive")
+    rate = packet_rate_pps(bandwidth_bps, packet_bytes, gap_bytes)
+    return rate * cycles_per_packet / clock_hz
+
+
+def standard_parallelism(
+    bandwidth_bps: int,
+    packet_bytes: int,
+    clock_hz: int = 1_000_000_000,
+    bus_bytes: int = 256,
+    gap_bytes: int = ETHERNET_OVERHEAD_BYTES,
+) -> float:
+    """Fig 3's "Standard Switch" curve.
+
+    Each packet needs ``ceil(S / W)`` data-path slots (the tail slot is
+    wasted for unaligned sizes), so the required number of parallel
+    buses is the packet rate times slots per packet over the clock.
+    """
+    if bus_bytes <= 0:
+        raise ValueError("bus width must be positive")
+    rate = packet_rate_pps(bandwidth_bps, packet_bytes, gap_bytes)
+    slots = math.ceil(packet_bytes / bus_bytes)
+    return rate * slots / clock_hz
+
+
+def stardust_parallelism(
+    bandwidth_bps: int,
+    packet_bytes: int = 0,
+    clock_hz: int = 1_000_000_000,
+    bus_bytes: int = 256,
+) -> float:
+    """Fig 3's "Stardust Fabric Element" curve: flat in packet size.
+
+    Packed cells always fill the data path, so the slot rate is just
+    ``B / (8 x W)`` regardless of the traffic's packet sizes.
+    """
+    if bus_bytes <= 0:
+        raise ValueError("bus width must be positive")
+    return bandwidth_bps / (8 * bus_bytes) / clock_hz

@@ -1,0 +1,45 @@
+"""Base class for simulated devices.
+
+An :class:`Entity` is anything with a name that receives objects from
+:class:`repro.sim.link.Link` endpoints: hosts, Fabric Adapters, Fabric
+Elements, Ethernet switches.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:
+    from repro.sim.engine import Simulator
+    from repro.sim.link import Link
+
+
+class Entity:
+    """A named participant in the simulation.
+
+    Subclasses implement :meth:`receive` to handle arriving frames and
+    may use :meth:`attach_port` bookkeeping to learn their ports.
+    """
+
+    def __init__(self, sim: "Simulator", name: str) -> None:
+        self.sim = sim
+        self.name = name
+        self.ports: list["Link"] = []
+
+    def attach_port(self, link: "Link") -> int:
+        """Register ``link`` as the next port; returns the port index."""
+        self.ports.append(link)
+        return len(self.ports) - 1
+
+    def port_index(self, link: "Link") -> int:
+        """Index of ``link`` among this entity's ports."""
+        return self.ports.index(link)
+
+    def receive(self, payload: Any, link: "Link") -> None:
+        """Handle an object delivered by ``link``.  Subclasses override."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement receive()"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name}>"

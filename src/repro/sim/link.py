@@ -1,0 +1,170 @@
+"""Point-to-point simplex links.
+
+A :class:`Link` models one direction of a serial link (Stardust never
+bundles links, so one Link is one lane).  It serializes frames in FIFO
+order at ``rate_bps`` and delivers each to the destination entity after
+an additional ``propagation_ns`` delay.
+
+The link keeps its own transmit queue and exposes its depth; devices
+that need finite buffers (Ethernet drop-tail switches) or congestion
+marking (Fabric Elements) consult :attr:`queued_bytes` /
+:attr:`queued_frames` before or while enqueuing.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Optional
+
+from repro.sim.engine import Simulator
+from repro.sim.entity import Entity
+from repro.sim.units import time_ns_for_bytes
+
+
+class LinkDown(RuntimeError):
+    """Raised when sending on a link that is administratively down."""
+
+
+class Link:
+    """A simplex serial link with serialization + propagation delay."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        src: Entity,
+        dst: Entity,
+        rate_bps: int,
+        propagation_ns: int = 0,
+        name: Optional[str] = None,
+    ) -> None:
+        if rate_bps <= 0:
+            raise ValueError(f"rate must be positive, got {rate_bps}")
+        if propagation_ns < 0:
+            raise ValueError("propagation delay must be non-negative")
+        self.sim = sim
+        self.src = src
+        self.dst = dst
+        self.rate_bps = rate_bps
+        self.propagation_ns = propagation_ns
+        self.name = name or f"{src.name}->{dst.name}"
+        self.up = True
+
+        self._queue: deque[tuple[Any, int]] = deque()
+        self._queued_bytes = 0
+        self._busy = False
+
+        # Accounting.
+        self.tx_frames = 0
+        self.tx_bytes = 0
+        self.peak_queue_bytes = 0
+        self.peak_queue_frames = 0
+
+        # Hooks: on_transmit(payload) fires when serialization starts
+        # (Fabric Elements stamp FCI there); on_idle() fires when the
+        # transmit queue fully drains.
+        self.on_transmit: Optional[Callable[[Any], None]] = None
+        self.on_idle: Optional[Callable[[], None]] = None
+
+    # ------------------------------------------------------------------
+    # Queue state
+    # ------------------------------------------------------------------
+    @property
+    def queued_bytes(self) -> int:
+        """Bytes waiting in the transmit queue (not yet on the wire)."""
+        return self._queued_bytes
+
+    @property
+    def queued_frames(self) -> int:
+        """Frames waiting in the transmit queue."""
+        return len(self._queue)
+
+    @property
+    def busy(self) -> bool:
+        """True while a frame is being serialized."""
+        return self._busy
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+    def send(self, payload: Any, size_bytes: int) -> None:
+        """Enqueue ``payload`` for transmission.
+
+        ``size_bytes`` is the on-wire size (including any framing the
+        caller wants to account for).  Frames are serialized strictly in
+        FIFO order.
+        """
+        if not self.up:
+            raise LinkDown(f"link {self.name} is down")
+        if size_bytes <= 0:
+            raise ValueError(f"frame size must be positive, got {size_bytes}")
+        self._queue.append((payload, size_bytes))
+        self._queued_bytes += size_bytes
+        if self._queued_bytes > self.peak_queue_bytes:
+            self.peak_queue_bytes = self._queued_bytes
+        if len(self._queue) > self.peak_queue_frames:
+            self.peak_queue_frames = len(self._queue)
+        if not self._busy:
+            self._start_next()
+
+    def _start_next(self) -> None:
+        payload, size = self._queue.popleft()
+        self._queued_bytes -= size
+        self._busy = True
+        if self.on_transmit is not None:
+            self.on_transmit(payload)
+        tx_time = time_ns_for_bytes(size, self.rate_bps)
+        self.sim.schedule(tx_time, lambda: self._tx_done(payload, size))
+
+    def _tx_done(self, payload: Any, size: int) -> None:
+        self.tx_frames += 1
+        self.tx_bytes += size
+        if self.up:
+            # Frame hits the wire; deliver after propagation.
+            self.sim.schedule(
+                self.propagation_ns, lambda: self._deliver(payload)
+            )
+        # Next frame, if any.
+        if self._queue and self.up:
+            self._start_next()
+        else:
+            self._busy = False
+            if self.on_idle is not None and not self._queue:
+                self.on_idle()
+
+    def _deliver(self, payload: Any) -> None:
+        if self.up:
+            self.dst.receive(payload, self)
+
+    # ------------------------------------------------------------------
+    # Failure injection
+    # ------------------------------------------------------------------
+    def fail(self) -> int:
+        """Take the link down, dropping everything queued and in flight.
+
+        Returns the number of frames lost from the transmit queue.
+        """
+        self.up = False
+        lost = len(self._queue)
+        self._queue.clear()
+        self._queued_bytes = 0
+        return lost
+
+    def restore(self) -> None:
+        """Bring the link back up (queue starts empty)."""
+        self.up = True
+        self._busy = False
+
+
+def duplex(
+    sim: Simulator,
+    a: Entity,
+    b: Entity,
+    rate_bps: int,
+    propagation_ns: int = 0,
+) -> tuple[Link, Link]:
+    """Create the pair of simplex links forming a full-duplex link."""
+    fwd = Link(sim, a, b, rate_bps, propagation_ns)
+    rev = Link(sim, b, a, rate_bps, propagation_ns)
+    a.attach_port(fwd)
+    b.attach_port(rev)
+    return fwd, rev

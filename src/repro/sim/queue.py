@@ -1,0 +1,142 @@
+"""FIFO queues with byte accounting and drop policies.
+
+Ethernet baseline switches use finite :class:`FifoQueue` instances with
+drop-tail (and optional ECN marking threshold); Stardust VOQs use the
+same structure with a much larger (host-buffer-backed) capacity.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generic, Iterator, Optional, TypeVar
+
+T = TypeVar("T")
+
+
+@dataclass
+class QueueStats:
+    """Counters shared by every queue in the system."""
+
+    enqueued_frames: int = 0
+    enqueued_bytes: int = 0
+    dequeued_frames: int = 0
+    dequeued_bytes: int = 0
+    dropped_frames: int = 0
+    dropped_bytes: int = 0
+    peak_bytes: int = 0
+    peak_frames: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        """The counters as a plain dict (for reports)."""
+        return {
+            "enqueued_frames": self.enqueued_frames,
+            "enqueued_bytes": self.enqueued_bytes,
+            "dequeued_frames": self.dequeued_frames,
+            "dequeued_bytes": self.dequeued_bytes,
+            "dropped_frames": self.dropped_frames,
+            "dropped_bytes": self.dropped_bytes,
+            "peak_bytes": self.peak_bytes,
+            "peak_frames": self.peak_frames,
+        }
+
+
+class FifoQueue(Generic[T]):
+    """A byte-accounted FIFO with optional capacity (drop-tail).
+
+    ``size_of`` maps an item to its byte size; it defaults to an
+    attribute lookup of ``wire_bytes`` then ``size_bytes`` so packets and
+    cells both work unannotated.
+    """
+
+    def __init__(
+        self,
+        capacity_bytes: Optional[int] = None,
+        size_of: Optional[Callable[[T], int]] = None,
+        name: str = "fifo",
+    ) -> None:
+        if capacity_bytes is not None and capacity_bytes <= 0:
+            raise ValueError("capacity must be positive or None")
+        self.name = name
+        self.capacity_bytes = capacity_bytes
+        self._size_of = size_of or _default_size_of
+        self._items: deque[T] = deque()
+        self._bytes = 0
+        self.stats = QueueStats()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __bool__(self) -> bool:
+        return bool(self._items)
+
+    def __iter__(self) -> Iterator[T]:
+        return iter(self._items)
+
+    @property
+    def bytes(self) -> int:
+        """Bytes currently queued."""
+        return self._bytes
+
+    @property
+    def frames(self) -> int:
+        """Items currently queued."""
+        return len(self._items)
+
+    def would_fit(self, item: T) -> bool:
+        """Whether ``item`` fits under the capacity right now."""
+        if self.capacity_bytes is None:
+            return True
+        return self._bytes + self._size_of(item) <= self.capacity_bytes
+
+    def push(self, item: T) -> bool:
+        """Enqueue; returns False (and counts a drop) if it didn't fit."""
+        size = self._size_of(item)
+        if (
+            self.capacity_bytes is not None
+            and self._bytes + size > self.capacity_bytes
+        ):
+            self.stats.dropped_frames += 1
+            self.stats.dropped_bytes += size
+            return False
+        self._items.append(item)
+        self._bytes += size
+        self.stats.enqueued_frames += 1
+        self.stats.enqueued_bytes += size
+        if self._bytes > self.stats.peak_bytes:
+            self.stats.peak_bytes = self._bytes
+        if len(self._items) > self.stats.peak_frames:
+            self.stats.peak_frames = len(self._items)
+        return True
+
+    def pop(self) -> T:
+        """Dequeue the head item; raises IndexError when empty."""
+        item = self._items.popleft()
+        size = self._size_of(item)
+        self._bytes -= size
+        self.stats.dequeued_frames += 1
+        self.stats.dequeued_bytes += size
+        return item
+
+    def peek(self) -> T:
+        """Head item without removing it; raises IndexError when empty."""
+        return self._items[0]
+
+    def clear(self) -> int:
+        """Discard everything queued; returns the number of frames lost."""
+        lost = len(self._items)
+        self.stats.dropped_frames += lost
+        self.stats.dropped_bytes += self._bytes
+        self._items.clear()
+        self._bytes = 0
+        return lost
+
+
+def _default_size_of(item: Any) -> int:
+    for attr in ("wire_bytes", "size_bytes"):
+        value = getattr(item, attr, None)
+        if value is not None:
+            return int(value)
+    raise TypeError(
+        f"cannot size {type(item).__name__}; provide size_of= to FifoQueue"
+    )

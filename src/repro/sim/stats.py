@@ -1,0 +1,204 @@
+"""Measurement primitives used by experiments.
+
+These are intentionally simple — exact sample stores for percentile
+queries at experiment scale, plus streaming counters for rates and
+time-weighted occupancies.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import insort
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+
+def percentile(samples: Sequence[float], pct: float) -> float:
+    """The ``pct``-th percentile (0..100) by linear interpolation.
+
+    Raises ValueError on an empty sample set, matching numpy semantics
+    closely enough for our use (we only report, never branch, on these).
+    """
+    if not samples:
+        raise ValueError("percentile of empty sample set")
+    if not 0.0 <= pct <= 100.0:
+        raise ValueError(f"percentile must be in [0,100], got {pct}")
+    ordered = sorted(samples)
+    if len(ordered) == 1:
+        return float(ordered[0])
+    rank = (pct / 100.0) * (len(ordered) - 1)
+    lo = math.floor(rank)
+    hi = math.ceil(rank)
+    if lo == hi:
+        return float(ordered[lo])
+    frac = rank - lo
+    return float(ordered[lo] * (1 - frac) + ordered[hi] * frac)
+
+
+class Counter:
+    """A named monotonically-increasing counter."""
+
+    def __init__(self, name: str = "counter") -> None:
+        self.name = name
+        self.value = 0
+
+    def add(self, amount: int = 1) -> None:
+        """Increase the counter by ``amount`` (default 1)."""
+        if amount < 0:
+            raise ValueError("counters only move forward")
+        self.value += amount
+
+
+class Histogram:
+    """Sample store with summary statistics.
+
+    Keeps every sample (experiments here are small enough); offers mean,
+    percentiles, min/max and a fixed-bin distribution for plotting the
+    paper's probability curves (Fig 9).
+    """
+
+    def __init__(self, name: str = "histogram") -> None:
+        self.name = name
+        self._samples: List[float] = []
+
+    def record(self, value: float) -> None:
+        """Add one sample."""
+        self._samples.append(float(value))
+
+    def extend(self, values: Iterable[float]) -> None:
+        """Add many samples."""
+        self._samples.extend(float(v) for v in values)
+
+    @property
+    def count(self) -> int:
+        """Number of recorded samples."""
+        return len(self._samples)
+
+    @property
+    def samples(self) -> List[float]:
+        """A copy of the raw samples."""
+        return list(self._samples)
+
+    def mean(self) -> float:
+        """Arithmetic mean of the samples."""
+        if not self._samples:
+            raise ValueError(f"{self.name}: no samples")
+        return sum(self._samples) / len(self._samples)
+
+    def minimum(self) -> float:
+        """Smallest sample."""
+        return min(self._samples)
+
+    def maximum(self) -> float:
+        """Largest sample."""
+        return max(self._samples)
+
+    def stdev(self) -> float:
+        """Sample standard deviation (0 for <2 samples)."""
+        if len(self._samples) < 2:
+            return 0.0
+        mu = self.mean()
+        var = sum((s - mu) ** 2 for s in self._samples) / (
+            len(self._samples) - 1
+        )
+        return math.sqrt(var)
+
+    def pct(self, p: float) -> float:
+        """The p-th percentile of the samples."""
+        return percentile(self._samples, p)
+
+    def distribution(
+        self, bin_width: float, max_value: Optional[float] = None
+    ) -> Dict[float, float]:
+        """Probability mass per bin of ``bin_width`` (Fig 9 style)."""
+        if bin_width <= 0:
+            raise ValueError("bin width must be positive")
+        if not self._samples:
+            return {}
+        top = max_value if max_value is not None else max(self._samples)
+        dist: Dict[float, float] = {}
+        n = len(self._samples)
+        for s in self._samples:
+            if s > top:
+                continue
+            b = math.floor(s / bin_width) * bin_width
+            dist[b] = dist.get(b, 0.0) + 1.0 / n
+        return dict(sorted(dist.items()))
+
+    def ccdf(self) -> List[tuple[float, float]]:
+        """(value, P[X >= value]) points — the paper's queue-tail plots."""
+        if not self._samples:
+            return []
+        ordered = sorted(self._samples)
+        n = len(ordered)
+        points: List[tuple[float, float]] = []
+        seen = None
+        for i, v in enumerate(ordered):
+            if v != seen:
+                points.append((v, (n - i) / n))
+                seen = v
+        return points
+
+
+class TimeWeightedMean:
+    """Mean of a piecewise-constant signal, weighted by holding time.
+
+    Used for average queue occupancy: call :meth:`update` every time the
+    level changes, then :meth:`value` integrates level x duration.
+    """
+
+    def __init__(self, start_time_ns: int = 0, level: float = 0.0) -> None:
+        self._last_time = start_time_ns
+        self._level = level
+        self._area = 0.0
+        self._peak = level
+
+    def update(self, time_ns: int, level: float) -> None:
+        """Record a level change at ``time_ns``."""
+        if time_ns < self._last_time:
+            raise ValueError("time moved backwards")
+        self._area += self._level * (time_ns - self._last_time)
+        self._last_time = time_ns
+        self._level = level
+        if level > self._peak:
+            self._peak = level
+
+    @property
+    def peak(self) -> float:
+        """Highest level seen so far."""
+        return self._peak
+
+    def value(self, now_ns: int) -> float:
+        """Time-weighted mean level up to ``now_ns``."""
+        total = now_ns - (self._last_time - 0)
+        area = self._area + self._level * (now_ns - self._last_time)
+        if now_ns <= 0:
+            return self._level
+        return area / now_ns
+
+
+class RateMeter:
+    """Bytes-per-interval meter; reports average goodput in bits/sec."""
+
+    def __init__(self, name: str = "rate") -> None:
+        self.name = name
+        self.total_bytes = 0
+        self.first_ns: Optional[int] = None
+        self.last_ns: Optional[int] = None
+
+    def record(self, time_ns: int, nbytes: int) -> None:
+        """Count ``nbytes`` observed at ``time_ns``."""
+        if self.first_ns is None:
+            self.first_ns = time_ns
+        self.last_ns = time_ns
+        self.total_bytes += nbytes
+
+    def rate_bps(self, window_ns: Optional[int] = None) -> float:
+        """Average rate over ``window_ns``, or first..last observation."""
+        if window_ns is None:
+            if self.first_ns is None or self.last_ns is None:
+                return 0.0
+            window_ns = self.last_ns - self.first_ns
+        if window_ns <= 0:
+            return 0.0
+        return self.total_bytes * 8 * 1e9 / window_ns

@@ -1,0 +1,113 @@
+"""Structured event tracing.
+
+A :class:`Tracer` collects timestamped, categorized records into a
+bounded ring buffer.  Components trace cheaply (no string formatting
+unless a category is enabled), and tests/tools can filter and assert
+on what actually happened — useful when debugging credit loops or
+reachability convergence.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Deque, Dict, Iterable, List, Optional
+
+from repro.sim.engine import Simulator
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One traced event."""
+
+    time_ns: int
+    category: str
+    source: str
+    message: str
+    data: Optional[dict] = None
+
+    def __str__(self) -> str:
+        return f"[{self.time_ns:>12}ns] {self.category:<12} {self.source}: {self.message}"
+
+
+class Tracer:
+    """Category-gated ring buffer of simulation events."""
+
+    def __init__(self, sim: Simulator, capacity: int = 100_000) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self.sim = sim
+        self._records: Deque[TraceRecord] = deque(maxlen=capacity)
+        self._enabled: set[str] = set()
+        self._all = False
+        self.dropped = 0
+
+    # ------------------------------------------------------------------
+    def enable(self, *categories: str) -> None:
+        """Enable specific categories, or everything with ``"*"``."""
+        for category in categories:
+            if category == "*":
+                self._all = True
+            else:
+                self._enabled.add(category)
+
+    def disable(self, *categories: str) -> None:
+        """Disable categories (or everything with ``"*"``)."""
+        for category in categories:
+            if category == "*":
+                self._all = False
+            else:
+                self._enabled.discard(category)
+
+    def wants(self, category: str) -> bool:
+        """Cheap pre-check so callers can skip formatting entirely."""
+        return self._all or category in self._enabled
+
+    def record(
+        self,
+        category: str,
+        source: str,
+        message: str,
+        data: Optional[dict] = None,
+    ) -> None:
+        """Append a record if its category is enabled."""
+        if not self.wants(category):
+            return
+        if len(self._records) == self._records.maxlen:
+            self.dropped += 1
+        self._records.append(
+            TraceRecord(self.sim.now, category, source, message, data)
+        )
+
+    # ------------------------------------------------------------------
+    def records(
+        self,
+        category: Optional[str] = None,
+        source: Optional[str] = None,
+        since_ns: int = 0,
+    ) -> List[TraceRecord]:
+        """Filtered view of the buffer."""
+        out = []
+        for record in self._records:
+            if record.time_ns < since_ns:
+                continue
+            if category is not None and record.category != category:
+                continue
+            if source is not None and record.source != source:
+                continue
+            out.append(record)
+        return out
+
+    def count(self, category: Optional[str] = None) -> int:
+        """Number of buffered records (optionally per category)."""
+        return len(self.records(category))
+
+    def clear(self) -> None:
+        """Empty the buffer and reset the drop counter."""
+        self._records.clear()
+        self.dropped = 0
+
+    def dump(self, limit: int = 50) -> str:
+        """The last ``limit`` records as printable lines."""
+        tail = list(self._records)[-limit:]
+        return "\n".join(str(r) for r in tail)

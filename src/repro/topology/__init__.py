@@ -1,0 +1,31 @@
+"""Fat-tree topology math and graph construction."""
+
+from repro.topology.scaling import (
+    SwitchModel,
+    fabric_switches,
+    fig2_network_devices,
+    fig2_network_links,
+    fig2_series_hosts_vs_tiers,
+    link_bundles,
+    links_per_tor,
+    max_hosts,
+    max_tors,
+    min_tiers_for_hosts,
+    switches_per_tor,
+)
+from repro.topology.fattree import FatTreeGraph
+
+__all__ = [
+    "SwitchModel",
+    "max_tors",
+    "max_hosts",
+    "fabric_switches",
+    "switches_per_tor",
+    "link_bundles",
+    "links_per_tor",
+    "min_tiers_for_hosts",
+    "fig2_series_hosts_vs_tiers",
+    "fig2_network_devices",
+    "fig2_network_links",
+    "FatTreeGraph",
+]

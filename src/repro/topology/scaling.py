@@ -1,0 +1,196 @@
+"""Appendix A: the math behind network size.
+
+Table 2 of the paper gives, for an n-tier fat-tree built from switches
+of radix ``k`` (radix counts *link bundles*, i.e. logical ports) and
+ToRs with ``t`` uplink ports of bundle size ``l``:
+
+=====  ============  ==========================  ====================  ================
+Tiers  Max ToRs      Max switches                # link bundles        links per ToR
+=====  ============  ==========================  ====================  ================
+1      k             t                           t*k                   t*l
+2      k^2/2         3/2 * t*k                   t*k^2                 2*t*l
+3      k^3/4         5/4 * t*k^2                 3/4 * t*k^3           3*t*l
+4      k^4/8         7/8 * t*k^3                 7/8 * t*k^4           7*t*l
+n      k^n/2^(n-1)   (2n-1)/2^(n-1) * t*k^(n-1)  (1-1/2^(n-1))*t*k^n   (2^(n-1)-1)*t*l
+=====  ============  ==========================  ====================  ================
+
+The per-row values are authoritative; the closed-form "n" row disagrees
+with the explicit rows at n<=2 (a known quirk of the published table),
+so this module implements the explicit rows for n<=4 and the closed
+form for n>=5, and keeps the columns mutually consistent
+(links-per-ToR = bundles*l/ToRs).
+
+The key observation (§2.2): for a fixed switch *bandwidth*, the radix is
+``k = total_serial_links / l``, so a link bundle of 1 maximizes k, and
+the network size scales as O((k/2)^n) — an O(l^n) = O(N^2)-class
+advantage for Stardust's unbundled links.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import List, Optional
+
+from repro.sim.units import GBPS
+
+
+@dataclass(frozen=True)
+class SwitchModel:
+    """A switch generation: total bandwidth carved into bundled ports.
+
+    ``bandwidth_bps`` is the device's switching capacity;
+    ``lane_rate_bps`` the serial-link (SerDes lane) speed; ``bundle``
+    how many lanes make one logical port.  The paper's Fig 2 uses a
+    12.8 Tbps device with 50G lanes: 256x50G (l=1) ... 32x400G (l=8).
+    """
+
+    bandwidth_bps: int
+    lane_rate_bps: int = 50 * GBPS
+    bundle: int = 1
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_bps <= 0 or self.lane_rate_bps <= 0:
+            raise ValueError("rates must be positive")
+        if self.bundle < 1:
+            raise ValueError("bundle must be >= 1")
+        if self.bandwidth_bps % (self.lane_rate_bps * self.bundle):
+            raise ValueError("bandwidth must divide into whole ports")
+
+    @property
+    def lanes(self) -> int:
+        """Total serial links the bandwidth carves into."""
+        return self.bandwidth_bps // self.lane_rate_bps
+
+    @property
+    def radix(self) -> int:
+        """Number of logical ports (link bundles)."""
+        return self.lanes // self.bundle
+
+    @property
+    def port_rate_bps(self) -> int:
+        """Rate of one logical (bundled) port."""
+        return self.lane_rate_bps * self.bundle
+
+
+def _check(k: int, n: int) -> None:
+    if k < 2:
+        raise ValueError(f"radix must be >= 2, got {k}")
+    if n < 1:
+        raise ValueError(f"tiers must be >= 1, got {n}")
+
+
+def max_tors(k: int, n: int) -> int:
+    """Maximum ToRs under an n-tier fabric of radix-k switches."""
+    _check(k, n)
+    return k**n // 2 ** (n - 1)
+
+
+def max_hosts(k: int, n: int, hosts_per_tor: int) -> int:
+    """Maximum end hosts (Fig 2a's y-axis)."""
+    if hosts_per_tor < 1:
+        raise ValueError("hosts_per_tor must be >= 1")
+    return hosts_per_tor * max_tors(k, n)
+
+
+def fabric_switches(k: int, t: int, n: int) -> int:
+    """Fabric switches (excluding ToRs) in a maximal n-tier network."""
+    _check(k, n)
+    if t < 1:
+        raise ValueError("t must be >= 1")
+    value = Fraction(2 * n - 1, 2 ** (n - 1)) * t * k ** (n - 1)
+    return int(value)
+
+
+def switches_per_tor(k: int, t: int, n: int) -> Fraction:
+    """Fabric switches amortized per ToR: (2n-1) * t / k."""
+    _check(k, n)
+    return Fraction((2 * n - 1) * t, k)
+
+
+def link_bundles(k: int, t: int, n: int) -> int:
+    """Total link bundles in a maximal n-tier network (Table 2 rows)."""
+    _check(k, n)
+    if n == 1:
+        return t * k
+    if n == 2:
+        return t * k**2
+    # n >= 3: the closed form matches the explicit rows.
+    return int((1 - Fraction(1, 2 ** (n - 1))) * t * k**n)
+
+
+def links_per_tor(k: int, t: int, l: int, n: int) -> Fraction:
+    """Serial links per ToR, consistent with the bundle column."""
+    _check(k, n)
+    return Fraction(link_bundles(k, t, n) * l, max_tors(k, n))
+
+
+def min_tiers_for_hosts(
+    k: int, hosts: int, hosts_per_tor: int, max_n: int = 8
+) -> Optional[int]:
+    """Fewest tiers that connect ``hosts`` end hosts; None if > max_n."""
+    for n in range(1, max_n + 1):
+        if max_hosts(k, n, hosts_per_tor) >= hosts:
+            return n
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Fig 2 series
+# ---------------------------------------------------------------------------
+
+def fig2_series_hosts_vs_tiers(
+    switch: SwitchModel, hosts_per_tor: int = 40, tiers: int = 4
+) -> List[int]:
+    """Fig 2(a): max hosts for 1..tiers tiers with the given switch."""
+    return [
+        max_hosts(switch.radix, n, hosts_per_tor)
+        for n in range(1, tiers + 1)
+    ]
+
+
+def _tor_uplinks(switch: SwitchModel, hosts_per_tor: int,
+                 host_rate_bps: int) -> int:
+    """ToR uplink ports: enough port capacity to match host bandwidth."""
+    downlink_bps = hosts_per_tor * host_rate_bps
+    return -(-downlink_bps // switch.port_rate_bps)
+
+
+def fig2_network_devices(
+    switch: SwitchModel,
+    hosts: int,
+    hosts_per_tor: int = 40,
+    host_rate_bps: int = 100 * GBPS,
+    include_tors: bool = True,
+) -> Optional[int]:
+    """Fig 2(b): devices needed for ``hosts`` end hosts.
+
+    Picks the fewest tiers that fit, then scales Table 2's per-ToR
+    device count by the actual number of ToRs.  Returns None when the
+    switch cannot reach that size within 8 tiers.
+    """
+    k = switch.radix
+    n = min_tiers_for_hosts(k, hosts, hosts_per_tor)
+    if n is None:
+        return None
+    tors = -(-hosts // hosts_per_tor)
+    t = _tor_uplinks(switch, hosts_per_tor, host_rate_bps)
+    fabric = math.ceil(switches_per_tor(k, t, n) * tors)
+    return fabric + (tors if include_tors else 0)
+
+
+def fig2_network_links(
+    switch: SwitchModel,
+    hosts: int,
+    hosts_per_tor: int = 40,
+    host_rate_bps: int = 100 * GBPS,
+) -> Optional[int]:
+    """Fig 2(c): serial links (not bundles) to build the network."""
+    k = switch.radix
+    n = min_tiers_for_hosts(k, hosts, hosts_per_tor)
+    if n is None:
+        return None
+    tors = -(-hosts // hosts_per_tor)
+    t = _tor_uplinks(switch, hosts_per_tor, host_rate_bps)
+    return math.ceil(links_per_tor(k, t, switch.bundle, n) * tors)

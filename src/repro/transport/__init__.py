@@ -1,0 +1,22 @@
+"""Host transport models: TCP NewReno, DCTCP, DCQCN, MPTCP.
+
+These run unmodified over either fabric (Stardust or the Ethernet push
+fabric), reproducing the §6.3 comparison methodology: the transports
+and buffers are identical, only the fabric differs.
+"""
+
+from repro.transport.host import Host, make_hosts
+from repro.transport.tcp import TcpReceiver, TcpSender
+from repro.transport.dctcp import DctcpSender
+from repro.transport.dcqcn import DcqcnSender
+from repro.transport.mptcp import MptcpConnection
+
+__all__ = [
+    "Host",
+    "make_hosts",
+    "TcpSender",
+    "TcpReceiver",
+    "DctcpSender",
+    "DcqcnSender",
+    "MptcpConnection",
+]

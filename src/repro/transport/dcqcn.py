@@ -1,0 +1,149 @@
+"""DCQCN: rate-based congestion control for RDMA-style traffic.
+
+Zhu et al. (SIGCOMM 2015, the paper's [82]), modelled at the fidelity
+the §6.3 comparison needs: a paced sender; the receiver turns ECN marks
+into CNPs (at most one per ``cnp_interval``); the sender's reaction
+point does multiplicative decrease with EWMA ``alpha``, then recovers
+through fast-recovery / additive-increase stages driven by a timer.
+Loss (rare for DCQCN's lossless intent, common on a pushed fabric
+without PFC) falls back to go-back-N on RTO, inherited from the base
+machinery.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.net.packet import Packet
+from repro.sim.engine import PeriodicTask
+from repro.sim.units import MICROSECOND, SECOND
+from repro.transport.tcp import TcpReceiver, TcpSender
+
+if TYPE_CHECKING:
+    from repro.transport.host import Host
+
+
+class DcqcnSender(TcpSender):
+    """Rate-paced sender with DCQCN reaction/recovery state."""
+
+    def __init__(
+        self,
+        host: "Host",
+        flow,
+        line_rate_bps: int = 50_000_000_000,
+        g: float = 1 / 16,
+        rate_increase_timer_ns: int = 55 * MICROSECOND,
+        additive_increase_bps: int = 2_000_000_000,
+        min_rate_bps: int = 100_000_000,
+        fast_recovery_rounds: int = 5,
+        **kwargs,
+    ) -> None:
+        # A huge static window: DCQCN is rate-limited, not window-limited.
+        kwargs.setdefault("init_cwnd_mss", 10_000)
+        super().__init__(host, flow, **kwargs)
+        self.line_rate_bps = line_rate_bps
+        self.g = g
+        self.alpha = 1.0
+        self.rc_bps = float(line_rate_bps)  # current rate
+        self.rt_bps = float(line_rate_bps)  # target rate
+        self.min_rate_bps = min_rate_bps
+        self.additive_increase_bps = additive_increase_bps
+        self.fast_recovery_rounds = fast_recovery_rounds
+        self._recovery_stage = 0
+        self.cnps_received = 0
+        self._pacing_armed = False
+        self._timer = PeriodicTask(
+            host.sim, rate_increase_timer_ns, self._increase
+        )
+
+    # ------------------------------------------------------------------
+    # Pacing: replace the windowed _try_send with a rate loop.
+    # ------------------------------------------------------------------
+    def _try_send(self) -> None:
+        if self.done or self._pacing_armed:
+            return
+        self._pacing_armed = True
+        self._pace()
+
+    def _pace(self) -> None:
+        if self.done:
+            self._pacing_armed = False
+            return
+        remaining = self._remaining()
+        if remaining is not None and remaining <= 0:
+            self._pacing_armed = False
+            return
+        size = self.mss
+        if remaining is not None:
+            size = min(size, remaining)
+        self._emit(self.snd_nxt, size)
+        self.snd_nxt += size
+        self._arm_rto()
+        gap_ns = int((size + 40) * 8 * SECOND / max(self.rc_bps, 1.0))
+        self.sim.schedule(max(gap_ns, 1), self._pace)
+
+    def on_cnp(self, packet: Packet) -> None:
+        """Reaction point: multiplicative decrease."""
+        self.cnps_received += 1
+        self.alpha = (1 - self.g) * self.alpha + self.g
+        self.rt_bps = self.rc_bps
+        self.rc_bps = max(
+            self.min_rate_bps, self.rc_bps * (1 - self.alpha / 2)
+        )
+        self._recovery_stage = 0
+
+    def _increase(self) -> None:
+        """Timer-driven recovery (fast recovery then additive)."""
+        if self.done:
+            self._timer.stop()
+            return
+        self.alpha = (1 - self.g) * self.alpha
+        self._recovery_stage += 1
+        if self._recovery_stage <= self.fast_recovery_rounds:
+            self.rc_bps = (self.rc_bps + self.rt_bps) / 2
+        else:
+            self.rt_bps = min(
+                self.line_rate_bps, self.rt_bps + self.additive_increase_bps
+            )
+            self.rc_bps = (self.rc_bps + self.rt_bps) / 2
+        self.rc_bps = min(self.rc_bps, self.line_rate_bps)
+
+    # DCQCN does not grow a window on ACKs; ACKs only advance snd_una.
+    def _grow_cwnd(self, acked_bytes: int, packet: Packet) -> None:
+        return
+
+    def _check_done(self) -> None:
+        super()._check_done()
+        if self.done:
+            self._timer.stop()
+
+
+class DcqcnNotificationPoint(TcpReceiver):
+    """Receiver that converts ECN marks into paced CNPs."""
+
+    def __init__(
+        self, host: "Host", flow_id: int, cnp_interval_ns: int = 50 * MICROSECOND
+    ) -> None:
+        super().__init__(host, flow_id)
+        self.cnp_interval_ns = cnp_interval_ns
+        self._last_cnp_ns = -(10**18)
+        self.cnps_sent = 0
+
+    def on_data(self, packet: Packet) -> int:
+        """Receive data; emit a paced CNP if it was ECN-marked."""
+        fresh = super().on_data(packet)
+        if packet.ecn:
+            now = self.host.sim.now
+            if now - self._last_cnp_ns >= self.cnp_interval_ns:
+                self._last_cnp_ns = now
+                self.cnps_sent += 1
+                cnp = Packet(
+                    size_bytes=64,
+                    src=packet.dst,
+                    dst=packet.src,
+                    flow_id=self.flow_id,
+                    is_cnp=True,
+                    created_ns=now,
+                )
+                self.host.output(cnp)
+        return fresh

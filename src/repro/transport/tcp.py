@@ -1,0 +1,290 @@
+"""TCP NewReno at packet granularity.
+
+Byte-sequence TCP with slow start, congestion avoidance, triple-dupack
+fast retransmit with NewReno partial-ACK recovery, and an RTO with SRTT
+estimation.  It is deliberately a *model*: no handshake, no FIN, no
+window scaling — exactly the machinery whose interaction with the
+fabric the paper's §6.3 measures, and nothing else.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
+
+from repro.net.flow import Flow
+from repro.net.packet import Packet
+from repro.sim.engine import Event, Simulator
+from repro.sim.units import MICROSECOND, MILLISECOND
+
+if TYPE_CHECKING:
+    from repro.transport.host import Host
+
+
+class TcpSender:
+    """One direction of a TCP connection (the data sender)."""
+
+    def __init__(
+        self,
+        host: "Host",
+        flow: Flow,
+        mss: int = 1460,
+        init_cwnd_mss: int = 10,
+        min_rto_ns: int = 200 * MICROSECOND,
+        on_complete: Optional[Callable[[], None]] = None,
+    ) -> None:
+        if mss <= 0:
+            raise ValueError("mss must be positive")
+        self.host = host
+        self.sim: Simulator = host.sim
+        self.flow = flow
+        self.mss = mss
+        self.min_rto_ns = min_rto_ns
+        self.on_complete = on_complete
+
+        # Sequence state (bytes).
+        self.snd_una = 0
+        self.snd_nxt = 0
+        #: None for long-running flows.
+        self.total_bytes = flow.size_bytes
+
+        # Congestion state.
+        self.cwnd = init_cwnd_mss * mss
+        self.ssthresh = 2**40
+        self.dup_acks = 0
+        self.in_recovery = False
+        self.recover_point = 0
+
+        # RTT estimation.
+        self.srtt_ns: Optional[int] = None
+        self.rttvar_ns = 0
+        self._send_times: Dict[int, int] = {}
+
+        # RTO timer.
+        self._rto_event: Optional[Event] = None
+        self.timeouts = 0
+        self.fast_retransmits = 0
+        self.packets_sent = 0
+        self.done = False
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Begin transmitting (fills the initial window)."""
+        self._try_send()
+
+    @property
+    def flight_size(self) -> int:
+        """Unacknowledged bytes currently outstanding."""
+        return self.snd_nxt - self.snd_una
+
+    def _remaining(self) -> Optional[int]:
+        if self.total_bytes is None:
+            return None
+        return self.total_bytes - self.snd_nxt
+
+    def _try_send(self) -> None:
+        """Send new data while the window (and the NIC) allow."""
+        if self.done:
+            return
+        while self.flight_size < self.cwnd:
+            remaining = self._remaining()
+            if remaining is not None and remaining <= 0:
+                break
+            if not self.host.nic_ready():
+                # Qdisc backpressure: resume when the NIC drains.
+                self.host.block_on_nic(self)
+                break
+            size = self.mss
+            if remaining is not None:
+                size = min(size, remaining)
+            self._emit(self.snd_nxt, size)
+            self.snd_nxt += size
+        self._arm_rto()
+
+    def nic_unblocked(self) -> None:
+        """The host NIC drained below its backpressure threshold."""
+        self._try_send()
+
+    def _emit(self, seq: int, size: int, retransmit: bool = False) -> None:
+        packet = Packet(
+            size_bytes=size + 40,  # TCP/IP headers ride along
+            src=self.flow.src,
+            dst=self.flow.dst,
+            flow_id=self.flow.flow_id,
+            seq=seq,
+            priority=self.flow.priority,
+            created_ns=self.sim.now,
+        )
+        if not retransmit:
+            self._send_times[seq] = self.sim.now
+        self.packets_sent += 1
+        self.host.output(packet)
+
+    # ------------------------------------------------------------------
+    # ACK processing
+    # ------------------------------------------------------------------
+    def on_ack(self, packet: Packet) -> None:
+        """Process a (possibly duplicate) cumulative ACK."""
+        if self.done:
+            return
+        ack = packet.ack_seq
+        if ack > self.snd_una:
+            acked = ack - self.snd_una
+            self._update_rtt(ack)
+            self.snd_una = ack
+            self.dup_acks = 0
+            if self.in_recovery:
+                if ack >= self.recover_point:
+                    self.in_recovery = False
+                    self.cwnd = self.ssthresh
+                else:
+                    # NewReno partial ACK: retransmit the next hole.
+                    self._emit(
+                        self.snd_una,
+                        min(self.mss, self._hole_size()),
+                        retransmit=True,
+                    )
+                    self.cwnd = max(self.mss, self.cwnd - acked + self.mss)
+            else:
+                self._grow_cwnd(acked, packet)
+            self._check_done()
+            self._try_send()
+        elif ack == self.snd_una and self.flight_size > 0:
+            self.dup_acks += 1
+            if self.dup_acks == 3 and not self.in_recovery:
+                self._fast_retransmit()
+            elif self.in_recovery:
+                self.cwnd += self.mss  # window inflation
+                self._try_send()
+
+    def _grow_cwnd(self, acked_bytes: int, packet: Packet) -> None:
+        """Slow start / congestion avoidance.  Subclasses hook here."""
+        if self.cwnd < self.ssthresh:
+            self.cwnd += min(acked_bytes, self.mss)
+        else:
+            self.cwnd += max(1, self.mss * self.mss // self.cwnd)
+
+    def _hole_size(self) -> int:
+        return max(self.mss, self.snd_nxt - self.snd_una)
+
+    def _fast_retransmit(self) -> None:
+        self.fast_retransmits += 1
+        self.ssthresh = max(2 * self.mss, self.flight_size // 2)
+        self.recover_point = self.snd_nxt
+        self.in_recovery = True
+        self.cwnd = self.ssthresh + 3 * self.mss
+        self._emit(self.snd_una, self.mss, retransmit=True)
+
+    # ------------------------------------------------------------------
+    # RTT / RTO
+    # ------------------------------------------------------------------
+    def _update_rtt(self, ack: int) -> None:
+        sent = None
+        for seq in list(self._send_times):
+            if seq < ack:
+                stamp = self._send_times.pop(seq)
+                if sent is None or stamp > sent:
+                    sent = stamp
+        if sent is None:
+            return
+        sample = self.sim.now - sent
+        if self.srtt_ns is None:
+            self.srtt_ns = sample
+            self.rttvar_ns = sample // 2
+        else:
+            self.rttvar_ns = (
+                3 * self.rttvar_ns + abs(self.srtt_ns - sample)
+            ) // 4
+            self.srtt_ns = (7 * self.srtt_ns + sample) // 8
+
+    @property
+    def rto_ns(self) -> int:
+        """Current retransmission timeout (SRTT + 4*RTTVAR, floored)."""
+        if self.srtt_ns is None:
+            return self.min_rto_ns
+        return max(self.min_rto_ns, self.srtt_ns + 4 * self.rttvar_ns)
+
+    def _arm_rto(self) -> None:
+        if self._rto_event is not None:
+            self._rto_event.cancel()
+            self._rto_event = None
+        if self.flight_size > 0 and not self.done:
+            self._rto_event = self.sim.schedule(self.rto_ns, self._on_rto)
+
+    def _on_rto(self) -> None:
+        self._rto_event = None
+        if self.done or self.flight_size == 0:
+            return
+        self.timeouts += 1
+        self.ssthresh = max(2 * self.mss, self.flight_size // 2)
+        self.cwnd = self.mss
+        self.in_recovery = False
+        self.dup_acks = 0
+        self.snd_nxt = self.snd_una  # go-back-N from the hole
+        self._try_send()
+
+    # ------------------------------------------------------------------
+    def _check_done(self) -> None:
+        if (
+            self.total_bytes is not None
+            and self.snd_una >= self.total_bytes
+            and not self.done
+        ):
+            self.done = True
+            if self._rto_event is not None:
+                self._rto_event.cancel()
+            if self.on_complete is not None:
+                self.on_complete()
+
+
+class TcpReceiver:
+    """Cumulative-ACK receiver with out-of-order buffering."""
+
+    def __init__(self, host: "Host", flow_id: int, ack_priority: int = 0):
+        self.host = host
+        self.flow_id = flow_id
+        self.ack_priority = ack_priority
+        self.rcv_nxt = 0
+        #: Buffered out-of-order byte ranges, merged and sorted.
+        self._ranges: List[Tuple[int, int]] = []
+        self.acks_sent = 0
+
+    def on_data(self, packet: Packet) -> int:
+        """Process a data packet; returns newly in-order payload bytes."""
+        payload = packet.size_bytes - 40
+        start, end = packet.seq, packet.seq + payload
+        before = self.rcv_nxt
+        if end > self.rcv_nxt:
+            self._insert(max(start, self.rcv_nxt), end)
+            self._advance()
+        self._send_ack(packet)
+        return self.rcv_nxt - before
+
+    def _insert(self, start: int, end: int) -> None:
+        merged: List[Tuple[int, int]] = []
+        ranges = sorted(self._ranges + [(start, end)])
+        for s, e in ranges:
+            if merged and s <= merged[-1][1]:
+                merged[-1] = (merged[-1][0], max(merged[-1][1], e))
+            else:
+                merged.append((s, e))
+        self._ranges = merged
+
+    def _advance(self) -> None:
+        while self._ranges and self._ranges[0][0] <= self.rcv_nxt:
+            s, e = self._ranges.pop(0)
+            self.rcv_nxt = max(self.rcv_nxt, e)
+
+    def _send_ack(self, data: Packet) -> None:
+        ack = Packet(
+            size_bytes=64,
+            src=data.dst,
+            dst=data.src,
+            flow_id=self.flow_id,
+            is_ack=True,
+            ack_seq=self.rcv_nxt,
+            ecn_echo=data.ecn,
+            priority=self.ack_priority,
+            created_ns=self.host.sim.now,
+        )
+        self.acks_sent += 1
+        self.host.output(ack)

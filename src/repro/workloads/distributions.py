@@ -1,0 +1,140 @@
+"""Empirical traffic distributions.
+
+The paper drives Fig 8(b) and Fig 10(b) with Facebook production traces
+(Roy et al., "Inside the Social Network's (Datacenter) Network",
+SIGCOMM 2015 — the paper's [74]).  The traces themselves are not
+public, so this module encodes *synthetic CDFs with the published
+shape*: Web traffic is dominated by small packets, Hadoop by
+MTU-size packets, DB (cache) sits between, and Web flow sizes are
+heavy-tailed with most flows a few KB and a tail into the MB range.
+Only these shapes — small-vs-large mix, tail weight — affect the
+reproduced figures.
+"""
+
+from __future__ import annotations
+
+import bisect
+import random
+from typing import Dict, List, Sequence, Tuple
+
+
+class EmpiricalDistribution:
+    """A CDF-table sampler: [(value, cumulative_probability), ...]."""
+
+    def __init__(self, cdf: Sequence[Tuple[float, float]], name: str = ""):
+        if not cdf:
+            raise ValueError("empty CDF")
+        probs = [p for _, p in cdf]
+        if probs != sorted(probs) or not 0 < probs[0] <= 1:
+            raise ValueError("CDF probabilities must be non-decreasing")
+        if abs(probs[-1] - 1.0) > 1e-9:
+            raise ValueError("CDF must end at probability 1.0")
+        self.name = name
+        self._values = [v for v, _ in cdf]
+        self._probs = probs
+
+    def sample(self, rng: random.Random) -> float:
+        """Draw one value (inverse-transform on the table)."""
+        u = rng.random()
+        index = bisect.bisect_left(self._probs, u)
+        if index >= len(self._values):
+            index = len(self._values) - 1
+        return self._values[index]
+
+    def sample_int(self, rng: random.Random) -> int:
+        """Draw one value as an int."""
+        return int(self.sample(rng))
+
+    def mean(self) -> float:
+        """Expected value of the table distribution."""
+        total = 0.0
+        prev = 0.0
+        for value, prob in zip(self._values, self._probs):
+            total += value * (prob - prev)
+            prev = prob
+        return total
+
+    @property
+    def support(self) -> List[float]:
+        """The distinct values the table can produce."""
+        return list(self._values)
+
+
+#: Packet-size mixes (bytes -> cumulative probability), shaped after
+#: Roy et al.'s per-service packet-size CDFs.  SYNTHETIC approximations.
+PACKET_SIZE_MIXES: Dict[str, List[Tuple[int, float]]] = {
+    # Web servers: median well under 200B, few full-MTU packets.
+    "web": [
+        (64, 0.30),
+        (128, 0.55),
+        (256, 0.72),
+        (512, 0.82),
+        (1024, 0.92),
+        (1500, 1.00),
+    ],
+    # Hadoop: bimodal — ACK-size minimum-size packets plus MTU data.
+    "hadoop": [
+        (64, 0.25),
+        (256, 0.32),
+        (512, 0.37),
+        (1024, 0.45),
+        (1500, 1.00),
+    ],
+    # Cache/DB: mixed object sizes.
+    "db": [
+        (64, 0.25),
+        (128, 0.42),
+        (256, 0.58),
+        (512, 0.72),
+        (1024, 0.86),
+        (1500, 1.00),
+    ],
+}
+
+#: Flow-size CDFs (bytes).  "web" follows the heavy-tailed Facebook Web
+#: shape used for the paper's FCT experiment (most flows a few KB, a
+#: tail into megabytes).  SYNTHETIC approximations.
+FLOW_SIZES: Dict[str, List[Tuple[int, float]]] = {
+    "web": [
+        (1_000, 0.15),
+        (2_000, 0.30),
+        (5_000, 0.50),
+        (10_000, 0.62),
+        (30_000, 0.72),
+        (100_000, 0.82),
+        (300_000, 0.90),
+        (1_000_000, 0.96),
+        (3_000_000, 0.99),
+        (10_000_000, 1.00),
+    ],
+    "hadoop": [
+        (10_000, 0.10),
+        (100_000, 0.30),
+        (1_000_000, 0.60),
+        (10_000_000, 0.90),
+        (100_000_000, 1.00),
+    ],
+}
+
+
+def packet_size_distribution(workload: str) -> EmpiricalDistribution:
+    """The packet-size sampler for ``workload`` (web/hadoop/db)."""
+    try:
+        cdf = PACKET_SIZE_MIXES[workload]
+    except KeyError:
+        raise ValueError(
+            f"unknown workload {workload!r}; "
+            f"choose from {sorted(PACKET_SIZE_MIXES)}"
+        ) from None
+    return EmpiricalDistribution(cdf, name=f"pkt-{workload}")
+
+
+def flow_size_distribution(workload: str) -> EmpiricalDistribution:
+    """The flow-size sampler for ``workload`` (web/hadoop)."""
+    try:
+        cdf = FLOW_SIZES[workload]
+    except KeyError:
+        raise ValueError(
+            f"unknown workload {workload!r}; choose from {sorted(FLOW_SIZES)}"
+        ) from None
+    return EmpiricalDistribution(cdf, name=f"flow-{workload}")

@@ -1,0 +1,175 @@
+"""Open-loop traffic injectors for fabric-level experiments.
+
+The §6.2 queueing study (Fig 9) does not involve transports: Fabric
+Adapters are loaded at a controlled utilization with packets to
+uniformly random destinations.  :class:`RateInjector` produces exactly
+that — a Poisson packet stream at a fraction of a host port's rate —
+and :class:`UniformRandomTraffic` wires one injector per host.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, List, Optional, Sequence
+
+from repro.net.addressing import PortAddress
+from repro.net.packet import Packet, wire_size
+from repro.sim.engine import Simulator
+from repro.sim.entity import Entity
+from repro.sim.link import Link
+from repro.sim.units import SECOND
+from repro.workloads.distributions import EmpiricalDistribution
+
+
+class RateInjector(Entity):
+    """A host that injects packets open-loop at a target rate.
+
+    ``utilization`` is relative to ``line_rate_bps``; inter-arrival
+    times are exponential (Poisson arrivals — the worst-case model of
+    §4.2.1).  Destinations are drawn uniformly from ``destinations``.
+    Arriving packets are counted and discarded.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        address: PortAddress,
+        destinations: Sequence[PortAddress],
+        line_rate_bps: int,
+        utilization: float,
+        rng: random.Random,
+        packet_bytes: int = 1000,
+        size_dist: Optional[EmpiricalDistribution] = None,
+    ) -> None:
+        super().__init__(sim, name)
+        if utilization < 0:
+            raise ValueError("utilization must be non-negative")
+        if not destinations:
+            raise ValueError("need at least one destination")
+        self.address = address
+        self.destinations = list(destinations)
+        self.line_rate_bps = line_rate_bps
+        self.utilization = utilization
+        self.rng = rng
+        self.packet_bytes = packet_bytes
+        self.size_dist = size_dist
+        self.packets_sent = 0
+        self.bytes_sent = 0
+        self.packets_received = 0
+        self.bytes_received = 0
+        self._running = False
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Begin injecting (first packet after one random gap)."""
+        if self.utilization == 0 or self._running:
+            return
+        self._running = True
+        self.sim.schedule(self._next_gap(), self._inject)
+
+    def stop(self) -> None:
+        """Stop injecting after the current event."""
+        self._running = False
+
+    def _mean_gap_ns(self, size_bytes: int) -> float:
+        # Pace by on-wire bytes so "utilization" means wire utilization
+        # — at 64B the Ethernet preamble/IPG is a third of the wire.
+        rate = self.line_rate_bps * self.utilization
+        return wire_size(size_bytes) * 8 * SECOND / rate
+
+    def _next_gap(self) -> int:
+        size = self._peek_size
+        return max(1, int(self.rng.expovariate(1.0) * self._mean_gap_ns(size)))
+
+    @property
+    def _peek_size(self) -> int:
+        # Use the mean size for pacing so utilization is honoured even
+        # with a size distribution.
+        if self.size_dist is not None:
+            return int(self.size_dist.mean())
+        return self.packet_bytes
+
+    def _inject(self) -> None:
+        if not self._running:
+            return
+        size = (
+            self.size_dist.sample_int(self.rng)
+            if self.size_dist is not None
+            else self.packet_bytes
+        )
+        dst = self.rng.choice(self.destinations)
+        packet = Packet(
+            size_bytes=size,
+            src=self.address,
+            dst=dst,
+            created_ns=self.sim.now,
+        )
+        self.packets_sent += 1
+        self.bytes_sent += size
+        self.ports[0].send(packet, packet.wire_bytes)
+        self.sim.schedule(self._next_gap(), self._inject)
+
+    # ------------------------------------------------------------------
+    def receive(self, packet: Packet, link: Link) -> None:
+        """Count an arriving packet (traffic sink side)."""
+        self.packets_received += 1
+        self.bytes_received += packet.size_bytes
+
+
+class UniformRandomTraffic:
+    """One :class:`RateInjector` per host; destinations exclude the
+    sender's own Fabric Adapter (cross-fabric traffic only)."""
+
+    def __init__(
+        self,
+        network,
+        addresses: Sequence[PortAddress],
+        utilization: float,
+        packet_bytes: int = 1000,
+        size_dist: Optional[EmpiricalDistribution] = None,
+        seed: int = 1,
+    ) -> None:
+        self.network = network
+        self.injectors: List[RateInjector] = []
+        rng_root = random.Random(seed)
+        line_rate = getattr(
+            network, "config", None
+        )
+        if line_rate is not None and hasattr(line_rate, "host_link_rate_bps"):
+            rate = line_rate.host_link_rate_bps
+        else:
+            rate = network.host_link_rate_bps
+        for address in addresses:
+            others = [a for a in addresses if a.fa != address.fa]
+            injector = RateInjector(
+                network.sim,
+                f"inj{address.fa}.{address.port}",
+                address,
+                others,
+                rate,
+                utilization,
+                random.Random(rng_root.getrandbits(48)),
+                packet_bytes=packet_bytes,
+                size_dist=size_dist,
+            )
+            network.attach_host(address, injector)
+            self.injectors.append(injector)
+
+    def start(self) -> None:
+        """Start every injector."""
+        for injector in self.injectors:
+            injector.start()
+
+    def stop(self) -> None:
+        """Stop every injector."""
+        for injector in self.injectors:
+            injector.stop()
+
+    def total_sent(self) -> int:
+        """Packets injected across all hosts."""
+        return sum(i.packets_sent for i in self.injectors)
+
+    def total_received(self) -> int:
+        """Packets delivered across all hosts."""
+        return sum(i.packets_received for i in self.injectors)

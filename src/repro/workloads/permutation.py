@@ -1,0 +1,74 @@
+"""Permutation workloads: every host sends to one host, receives from
+one host (§6.3's throughput experiment)."""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence
+
+from repro.net.addressing import PortAddress
+from repro.net.flow import Flow
+
+
+def derangement(
+    n: int, rng: random.Random, forbid=None
+) -> List[int]:
+    """A random permutation of range(n) with no fixed points.
+
+    ``forbid(i, j)`` may veto mapping i -> j (used to keep permutation
+    traffic off the local Fabric Adapter).  Rejection-sampled; raises
+    after too many attempts if the constraints are unsatisfiable.
+    """
+    if n < 2:
+        raise ValueError("derangement needs n >= 2")
+    perm = list(range(n))
+    for _ in range(10_000):
+        rng.shuffle(perm)
+        ok = all(
+            i != p and (forbid is None or not forbid(i, p))
+            for i, p in enumerate(perm)
+        )
+        if ok:
+            return list(perm)
+    raise RuntimeError("could not satisfy derangement constraints")
+
+
+def host_permutation(
+    addresses: Sequence[PortAddress],
+    rng: random.Random,
+    cross_fa_only: bool = True,
+) -> Dict[PortAddress, PortAddress]:
+    """Map each address to a distinct destination address."""
+    n = len(addresses)
+    forbid = None
+    if cross_fa_only:
+        forbid = lambda i, j: addresses[i].fa == addresses[j].fa
+    perm = derangement(n, rng, forbid=forbid)
+    return {addresses[i]: addresses[p] for i, p in enumerate(perm)}
+
+
+def start_permutation_flows(
+    hosts: Dict[PortAddress, object],
+    mapping: Dict[PortAddress, PortAddress],
+    size_bytes: Optional[int] = None,
+    sender_cls=None,
+    mptcp_subflows: Optional[int] = None,
+    **sender_kwargs,
+) -> List[Flow]:
+    """Start one flow per mapping entry; returns the flow descriptors."""
+    flows = []
+    for src, dst in mapping.items():
+        flow = Flow(src=src, dst=dst, size_bytes=size_bytes)
+        host = hosts[src]
+        if mptcp_subflows is not None:
+            from repro.transport.mptcp import MptcpConnection
+
+            MptcpConnection(
+                host, flow, n_subflows=mptcp_subflows, **sender_kwargs
+            ).start()
+        elif sender_cls is not None:
+            host.start_flow(flow, sender_cls=sender_cls, **sender_kwargs)
+        else:
+            host.start_flow(flow, **sender_kwargs)
+        flows.append(flow)
+    return flows

@@ -1,0 +1,224 @@
+"""Tests for the analytical models: queueing, cost, power, area,
+resilience, memory."""
+
+import pytest
+
+from repro.analysis.area import (
+    FABRIC_ELEMENT_RATIOS,
+    fabric_adapter_overhead_fraction,
+    fe_table_bits,
+    table_ratio,
+    tor_table_bits,
+    voq_memory_bytes,
+)
+from repro.analysis.cost import (
+    FT_50G,
+    FT_100G,
+    STARDUST_25G,
+    network_cost_usd,
+    relative_cost_series,
+)
+from repro.analysis.mdq import (
+    md1_mean_queue,
+    md1_queue_distribution,
+    md1_tail_probability,
+    speedup_tail_bound,
+)
+from repro.analysis.memory import (
+    egress_inflight_bytes,
+    fe_buffer_bytes,
+    fe_max_latency_ns,
+    min_credit_size_bytes,
+)
+from repro.analysis.power import (
+    network_power_relative,
+    power_saving_fraction,
+    relative_power_series,
+)
+from repro.analysis.resilience import (
+    ReachabilityParams,
+    messages_per_table,
+    reachability_overhead_fraction,
+    recovery_time_ns,
+)
+
+
+class TestMD1:
+    def test_distribution_normalized(self):
+        for rho in (0.1, 0.5, 0.66, 0.8, 0.92, 0.95):
+            dist = md1_queue_distribution(rho, 300)
+            assert sum(dist) == pytest.approx(1.0, abs=1e-9)
+
+    def test_p0_is_one_minus_rho(self):
+        dist = md1_queue_distribution(0.8, 100)
+        assert dist[0] == pytest.approx(0.2, abs=1e-3)
+
+    def test_tail_grows_with_utilization(self):
+        tails = [md1_tail_probability(rho, 20) for rho in (0.66, 0.8, 0.92)]
+        assert tails == sorted(tails)
+
+    def test_tail_decays_exponentially_in_n(self):
+        # log-linear decay: ratio of successive tails roughly constant.
+        import math
+
+        tails = [md1_tail_probability(0.8, n) for n in (10, 20, 30)]
+        r1 = math.log(tails[0] / tails[1])
+        r2 = math.log(tails[1] / tails[2])
+        assert r1 == pytest.approx(r2, rel=0.15)
+
+    def test_zero_load_is_empty_queue(self):
+        dist = md1_queue_distribution(0.0, 10)
+        assert dist[0] == 1.0
+
+    def test_mean_queue_formula(self):
+        assert md1_mean_queue(0.5) == pytest.approx(0.75)
+
+    def test_unstable_utilization_rejected(self):
+        with pytest.raises(ValueError):
+            md1_queue_distribution(1.0)
+        with pytest.raises(ValueError):
+            md1_mean_queue(1.2)
+
+    def test_speedup_bound_tracks_exact_tail(self):
+        # §4.2.1's fs^-2N shorthand approximates the true M/D/1 tail:
+        # same exponential decay, within a small constant factor.
+        import math
+
+        fs = 1.25
+        rho = 1 / fs
+        for n in (10, 20, 40):
+            exact = md1_tail_probability(rho, n)
+            bound = speedup_tail_bound(fs, n)
+            assert abs(math.log10(exact) - math.log10(bound)) < 0.75
+
+    def test_bound_requires_speedup(self):
+        with pytest.raises(ValueError):
+            speedup_tail_bound(1.0, 5)
+
+
+class TestArea:
+    def test_fig10d_ratios_present(self):
+        assert FABRIC_ELEMENT_RATIOS["area_per_tbps"] == pytest.approx(0.666)
+        assert FABRIC_ELEMENT_RATIOS["power_per_tbps"] == pytest.approx(0.648)
+        assert FABRIC_ELEMENT_RATIOS["io"] == pytest.approx(0.875)
+
+    def test_table_sizes(self):
+        # N=100K hosts, k=256: ToR needs N x (32+8) bits.
+        assert tor_table_bits(100_000, 256) == 100_000 * 40
+        assert fe_table_bits(100_000, 256) == 2500 * 8
+
+    def test_two_orders_of_magnitude(self):
+        # §4.2: FE table "two orders of magnitude smaller".
+        assert table_ratio(100_000, 256) >= 100
+
+    def test_fabric_adapter_area_roughly_neutral(self):
+        # Appendix C: +8% Stardust logic vs -70% of the interface area.
+        delta = fabric_adapter_overhead_fraction()
+        assert abs(delta) < 0.15
+
+    def test_voq_memory(self):
+        assert voq_memory_bytes(128 * 1024) == 4 * 1024 * 1024
+        assert voq_memory_bytes(64 * 1024) == 2 * 1024 * 1024
+
+
+class TestCost:
+    def test_stardust_always_cheapest(self):
+        # §7: "Stardust is always the most cost effective solution."
+        for hosts in (1_000, 10_000, 100_000, 1_000_000):
+            series = {
+                opt.name: network_cost_usd(opt, hosts)
+                for opt in (STARDUST_25G, FT_50G, FT_100G)
+            }
+            valid = {k: v for k, v in series.items() if v is not None}
+            assert min(valid, key=valid.get) == STARDUST_25G.name
+
+    def test_relative_series_normalized(self):
+        series = relative_cost_series([10_000, 100_000])
+        for values in series.values():
+            for v in values:
+                assert v is None or 0 < v <= 100
+
+    def test_costs_scale_with_hosts(self):
+        small = network_cost_usd(STARDUST_25G, 1_000)
+        big = network_cost_usd(STARDUST_25G, 100_000)
+        assert big > 50 * small
+
+    def test_invalid_hosts(self):
+        with pytest.raises(ValueError):
+            network_cost_usd(STARDUST_25G, 0)
+
+
+class TestPower:
+    def test_fabric_saving_close_to_78pct(self):
+        # §7: "78% saving within the network fabric" at ~10K nodes.
+        saving = power_saving_fraction(10_000, fabric_only=True)
+        assert saving == pytest.approx(0.78, abs=0.05)
+
+    def test_network_saving_substantial_at_10k(self):
+        saving = power_saving_fraction(10_000)
+        assert 0.15 <= saving <= 0.45  # paper: "up to 25%"
+
+    def test_stardust_uses_least_power(self):
+        for hosts in (10_000, 200_000, 1_000_000):
+            series = relative_power_series([hosts])
+            column = {b: v[0] for b, v in series.items() if v[0] is not None}
+            assert min(column, key=column.get) == 1
+
+    def test_power_grows_with_bundle(self):
+        series = relative_power_series([500_000])
+        values = [
+            series[b][0] for b in (1, 2, 4, 8) if series[b][0] is not None
+        ]
+        assert values == sorted(values)
+
+    def test_unreachable_scale_returns_none(self):
+        assert network_power_relative(8, 10**14) is None
+
+
+class TestResilience:
+    def test_worked_example_652us(self):
+        params = ReachabilityParams()
+        assert recovery_time_ns(params) == pytest.approx(652_050, rel=1e-3)
+
+    def test_messages_per_table(self):
+        assert messages_per_table(ReachabilityParams()) == 7
+
+    def test_overhead_is_0_04_pct(self):
+        overhead = reachability_overhead_fraction(ReachabilityParams())
+        assert overhead == pytest.approx(0.000384, rel=1e-6)
+
+    def test_recovery_scales_with_confirmations(self):
+        p1 = ReachabilityParams(confirm_threshold=1)
+        p3 = ReachabilityParams(confirm_threshold=3)
+        assert recovery_time_ns(p3) == pytest.approx(
+            3 * recovery_time_ns(p1)
+        )
+
+    def test_propagation_list_must_match_tiers(self):
+        with pytest.raises(ValueError):
+            ReachabilityParams(tiers=3)  # needs 5 hop delays
+
+
+class TestMemory:
+    def test_sec62_extrapolation_8mb(self):
+        assert fe_buffer_bytes(256, 128, 256) == 8 * 1024 * 1024
+
+    def test_sec62_latency_bound_5us(self):
+        lat = fe_max_latency_ns(128, 256, 50 * 10**9)
+        assert 5_000 <= lat <= 5_500  # "at most 5us" scale
+
+    def test_min_credit_worked_example(self):
+        # 10 Tbps FA, credit every 2 clocks at 1 GHz: exact value 2500B
+        # (the paper's prose rounds the same story to 2000B).
+        assert min_credit_size_bytes(10 * 10**12) == 2500
+
+    def test_egress_inflight(self):
+        # 10 sources x 4KB credits plus one loop of 50G x 10us.
+        bytes_needed = egress_inflight_bytes(4096, 10, 10_000, 50 * 10**9)
+        assert bytes_needed == 10 * 4096 + 62_500
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            fe_buffer_bytes(0)
+        with pytest.raises(ValueError):
+            min_credit_size_bytes(0)

@@ -1,0 +1,156 @@
+"""Unit tests for FabricElement internals (routing, FCI, stats)."""
+
+import pytest
+
+from repro.core.cell import Cell, CellKind, VoqId
+from repro.core.config import StardustConfig
+from repro.core.fabric_element import FabricElement
+from repro.net.addressing import PortAddress
+from repro.sim.engine import Simulator
+from repro.sim.entity import Entity
+from repro.sim.link import Link
+from repro.sim.units import gbps
+
+
+class Sink(Entity):
+    def __init__(self, sim, name):
+        super().__init__(sim, name)
+        self.cells = []
+
+    def receive(self, cell, link):
+        self.cells.append(cell)
+
+
+def make_fe(config=None, n_down=2, n_up=2):
+    sim = Simulator()
+    cfg = config or StardustConfig()
+    fe = FabricElement(sim, cfg, fe_id=0, tier=1, name="fe0")
+    sinks = []
+    for i in range(n_down + n_up):
+        sink = Sink(sim, f"n{i}")
+        out = Link(sim, fe, sink, gbps(50))
+        inbound = Link(sim, sink, fe, gbps(50))
+        direction = "down" if i < n_down else "up"
+        fe.add_port(neighbor=100 + i, out=out, inbound=inbound,
+                    direction=direction)
+        sinks.append(sink)
+    return sim, fe, sinks
+
+
+def data_cell(dst_fa, size=100):
+    from repro.core.cell import CellFragment
+    from repro.net.packet import Packet
+
+    pkt = Packet(size_bytes=size, src=PortAddress(0, 0),
+                 dst=PortAddress(dst_fa, 0))
+    return Cell(
+        kind=CellKind.DATA, dst_fa=dst_fa, src_fa=0, header_bytes=16,
+        voq=VoqId(dst=PortAddress(dst_fa, 0)),
+        fragments=(CellFragment(pkt, size, True),),
+    )
+
+
+class TestRouting:
+    def test_down_route_preferred_over_up(self):
+        sim, fe, sinks = make_fe()
+        down_port = fe.down_ports[0]
+        fe.set_static_reachability(
+            {5: [down_port]}, up_reaches_everything=True
+        )
+        fe.receive(data_cell(5), None)
+        sim.run()
+        assert len(sinks[0].cells) == 1
+        assert all(not s.cells for s in sinks[2:])
+
+    def test_unknown_destination_goes_up(self):
+        sim, fe, sinks = make_fe()
+        fe.set_static_reachability({}, up_reaches_everything=True)
+        fe.receive(data_cell(9), None)
+        sim.run()
+        up_deliveries = sum(len(s.cells) for s in sinks[2:])
+        assert up_deliveries == 1
+
+    def test_no_route_counts_drop(self):
+        sim, fe, sinks = make_fe(n_up=2)
+        fe.set_static_reachability({}, up_reaches_everything=False)
+        fe.receive(data_cell(9), None)
+        assert fe.no_route_drops == 1
+
+    def test_failed_down_link_falls_back_to_up(self):
+        sim, fe, sinks = make_fe()
+        down_port = fe.down_ports[0]
+        fe.set_static_reachability(
+            {5: [down_port]}, up_reaches_everything=True
+        )
+        down_port.out.fail()
+        fe.receive(data_cell(5), None)
+        sim.run()
+        assert sum(len(s.cells) for s in sinks[2:]) == 1
+
+    def test_spray_covers_all_eligible_down_links(self):
+        sim, fe, sinks = make_fe(n_down=4, n_up=0)
+        fe.set_static_reachability(
+            {5: list(fe.down_ports)}, up_reaches_everything=False
+        )
+        for _ in range(40):
+            fe.receive(data_cell(5), None)
+        sim.run()
+        counts = [len(s.cells) for s in sinks]
+        assert counts == [10, 10, 10, 10]  # perfect balance
+
+    def test_invalid_port_direction_rejected(self):
+        sim, fe, _ = make_fe()
+        sink = Sink(sim, "x")
+        out = Link(sim, fe, sink, gbps(50))
+        inbound = Link(sim, sink, fe, gbps(50))
+        with pytest.raises(ValueError):
+            fe.add_port(neighbor=1, out=out, inbound=inbound,
+                        direction="sideways")
+
+
+class TestFci:
+    def test_cells_marked_above_threshold(self):
+        cfg = StardustConfig(fci_threshold_cells=3)
+        sim, fe, sinks = make_fe(config=cfg, n_down=1, n_up=0)
+        fe.set_static_reachability(
+            {5: list(fe.down_ports)}, up_reaches_everything=False
+        )
+        cells = [data_cell(5, size=200) for _ in range(10)]
+        for cell in cells:
+            fe.receive(cell, None)
+        # The first few go out unmarked; once the link queue passes the
+        # threshold, later cells carry FCI.
+        assert fe.cells_fci_marked > 0
+        assert any(c.fci for c in cells)
+        assert not cells[0].fci
+
+    def test_no_marks_below_threshold(self):
+        cfg = StardustConfig(fci_threshold_cells=1000)
+        sim, fe, sinks = make_fe(config=cfg, n_down=1, n_up=0)
+        fe.set_static_reachability(
+            {5: list(fe.down_ports)}, up_reaches_everything=False
+        )
+        for _ in range(10):
+            fe.receive(data_cell(5), None)
+        assert fe.cells_fci_marked == 0
+
+
+class TestStats:
+    def test_forwarded_counter(self):
+        sim, fe, sinks = make_fe()
+        fe.set_static_reachability(
+            {5: [fe.down_ports[0]]}, up_reaches_everything=False
+        )
+        for _ in range(7):
+            fe.receive(data_cell(5), None)
+        assert fe.cells_forwarded == 7
+
+    def test_queue_sampling_only_on_down_ports(self):
+        sim, fe, sinks = make_fe()
+        fe.sample_down_queues = True
+        fe.set_static_reachability(
+            {5: [fe.down_ports[0]]}, up_reaches_everything=True
+        )
+        fe.receive(data_cell(5), None)  # down: sampled
+        fe.receive(data_cell(9), None)  # up: not sampled
+        assert fe.down_queue_depth.count == 1

@@ -1,0 +1,112 @@
+"""Unit tests for the packet substrate: packets, addressing, flows."""
+
+import pytest
+
+from repro.net.addressing import PortAddress
+from repro.net.flow import Flow, FlowTracker
+from repro.net.packet import (
+    ETHERNET_OVERHEAD_BYTES,
+    MIN_ETHERNET_FRAME,
+    Packet,
+    wire_size,
+)
+
+
+ADDR_A = PortAddress(fa=0, port=0)
+ADDR_B = PortAddress(fa=1, port=3)
+
+
+class TestAddressing:
+    def test_equality_and_hash(self):
+        assert PortAddress(1, 2) == PortAddress(1, 2)
+        assert len({PortAddress(1, 2), PortAddress(1, 2)}) == 1
+
+    def test_ordering(self):
+        assert PortAddress(0, 5) < PortAddress(1, 0)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            PortAddress(-1, 0)
+        with pytest.raises(ValueError):
+            PortAddress(0, -1)
+
+    def test_str(self):
+        assert str(PortAddress(3, 7)) == "fa3:p7"
+
+
+class TestPacket:
+    def test_wire_size_adds_overhead(self):
+        assert wire_size(1500) == 1500 + ETHERNET_OVERHEAD_BYTES
+
+    def test_wire_size_pads_runt_frames(self):
+        assert wire_size(20) == MIN_ETHERNET_FRAME + ETHERNET_OVERHEAD_BYTES
+
+    def test_packet_wire_bytes(self):
+        p = Packet(size_bytes=64, src=ADDR_A, dst=ADDR_B)
+        assert p.wire_bytes == 84
+
+    def test_unique_ids(self):
+        a = Packet(size_bytes=64, src=ADDR_A, dst=ADDR_B)
+        b = Packet(size_bytes=64, src=ADDR_A, dst=ADDR_B)
+        assert a.pkt_id != b.pkt_id
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(ValueError):
+            Packet(size_bytes=0, src=ADDR_A, dst=ADDR_B)
+
+
+class TestFlow:
+    def test_finite_and_infinite_flows(self):
+        f = Flow(src=ADDR_A, dst=ADDR_B, size_bytes=1000)
+        g = Flow(src=ADDR_A, dst=ADDR_B)
+        assert f.size_bytes == 1000
+        assert g.size_bytes is None
+        assert f.flow_id != g.flow_id
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ValueError):
+            Flow(src=ADDR_A, dst=ADDR_B, size_bytes=0)
+
+
+class TestFlowTracker:
+    def test_completion_detection(self):
+        tracker = FlowTracker()
+        flow = Flow(src=ADDR_A, dst=ADDR_B, size_bytes=100, start_ns=10)
+        tracker.register(flow)
+        tracker.record_delivery(flow.flow_id, 50, 60)
+        assert tracker.get(flow.flow_id).completed_ns is None
+        tracker.record_delivery(flow.flow_id, 90, 40)
+        stats = tracker.get(flow.flow_id)
+        assert stats.completed_ns == 90
+        assert stats.fct_ns == 80
+
+    def test_infinite_flow_never_completes(self):
+        tracker = FlowTracker()
+        flow = Flow(src=ADDR_A, dst=ADDR_B)
+        tracker.register(flow)
+        tracker.record_delivery(flow.flow_id, 100, 10**9)
+        assert tracker.get(flow.flow_id).completed_ns is None
+        assert tracker.completed() == []
+
+    def test_goodput(self):
+        tracker = FlowTracker()
+        flow = Flow(src=ADDR_A, dst=ADDR_B, size_bytes=1250, start_ns=0)
+        tracker.register(flow)
+        tracker.record_delivery(flow.flow_id, 10_000, 1250)
+        # 10000 bits over 10 us = 1 Gbps.
+        assert tracker.get(flow.flow_id).goodput_bps() == pytest.approx(1e9)
+
+    def test_double_register_rejected(self):
+        tracker = FlowTracker()
+        flow = Flow(src=ADDR_A, dst=ADDR_B)
+        tracker.register(flow)
+        with pytest.raises(ValueError):
+            tracker.register(flow)
+
+    def test_fcts_listing(self):
+        tracker = FlowTracker()
+        for size, end in [(10, 100), (20, 300)]:
+            flow = Flow(src=ADDR_A, dst=ADDR_B, size_bytes=size, start_ns=0)
+            tracker.register(flow)
+            tracker.record_delivery(flow.flow_id, end, size)
+        assert sorted(tracker.fcts_ns()) == [100, 300]

@@ -1,0 +1,161 @@
+"""Tests for the Appendix B math and the Fig 8 NetFPGA model."""
+
+import pytest
+
+from repro.pipeline.parallelism import (
+    packet_rate_pps,
+    required_parallelism,
+    standard_parallelism,
+    stardust_parallelism,
+)
+from repro.pipeline.switch_model import (
+    NetFpgaModel,
+    SwitchDesign,
+    trace_throughput,
+)
+from repro.workloads.distributions import PACKET_SIZE_MIXES
+
+B128 = 12_800_000_000_000  # 12.8 Tbps
+
+
+class TestAppendixB:
+    def test_worked_example_64B(self):
+        # Appendix B: 12.8T, 64B, G=20B, f=1GHz, c=1 -> P = 19.047.
+        assert required_parallelism(B128, 64, 10**9) == pytest.approx(
+            19.047, abs=0.01
+        )
+
+    def test_worked_example_256B(self):
+        assert required_parallelism(B128, 256, 10**9) == pytest.approx(
+            5.797, abs=0.01
+        )
+
+    def test_packet_rate_1500B(self):
+        # More than one packet per clock even at 1500B (§2.3).
+        assert packet_rate_pps(B128, 1500) > 1e9
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            packet_rate_pps(B128, 0)
+        with pytest.raises(ValueError):
+            required_parallelism(B128, 64, 0)
+
+
+class TestFig3:
+    def test_stardust_flat_in_packet_size(self):
+        values = {stardust_parallelism(B128, s) for s in (64, 513, 1500, 2500)}
+        assert len(values) == 1
+        assert values.pop() == pytest.approx(6.25)
+
+    def test_standard_never_meaningfully_below_stardust(self):
+        # Just under a bus multiple, the wire's inter-packet gap gives
+        # the standard switch a few percent of headroom; everywhere
+        # else it needs at least as many pipelines as Stardust.
+        for size in range(64, 2501, 7):
+            assert standard_parallelism(B128, size) > stardust_parallelism(
+                B128
+            ) * 0.93
+
+    def test_standard_worst_case_far_above_stardust(self):
+        worst = max(
+            standard_parallelism(B128, s) for s in range(64, 2501)
+        )
+        assert worst > 3 * stardust_parallelism(B128)
+
+    def test_small_packet_factor_about_4x(self):
+        # §2.3: "For small packets ... outperforms ... by a factor of x4"
+        ratio = standard_parallelism(B128, 64) / stardust_parallelism(B128)
+        assert 2.8 <= ratio <= 4.2
+
+    def test_513B_gain_about_41pct(self):
+        gain = standard_parallelism(B128, 513) / stardust_parallelism(B128) - 1
+        assert 0.3 <= gain <= 0.55  # paper: 41%
+
+    def test_1025B_gain_about_18pct(self):
+        gain = (
+            standard_parallelism(B128, 1025) / stardust_parallelism(B128) - 1
+        )
+        assert 0.1 <= gain <= 0.3  # paper: 18%
+
+    def test_sawtooth_at_bus_boundaries(self):
+        # One byte past a bus multiple costs a whole extra slot.
+        below = standard_parallelism(B128, 512)
+        above = standard_parallelism(B128, 513)
+        assert above > below
+
+
+class TestNetFpgaModel:
+    def setup_method(self):
+        self.model = NetFpgaModel()
+
+    def test_stardust_flat_and_highest(self):
+        sizes = list(range(64, 1519, 13))
+        star = [
+            self.model.throughput(SwitchDesign.STARDUST_PACKED, s)
+            for s in sizes
+        ]
+        assert len({p.goodput_bps for p in star}) == 1
+        for design in (
+            SwitchDesign.REFERENCE,
+            SwitchDesign.NDP,
+            SwitchDesign.CELLS_UNPACKED,
+        ):
+            for s, sp in zip(sizes, star):
+                other = self.model.throughput(design, s)
+                assert other.goodput_bps <= sp.goodput_bps + 1e-6
+
+    def test_reference_loses_at_small_sizes(self):
+        small = self.model.throughput(SwitchDesign.REFERENCE, 64)
+        large = self.model.throughput(SwitchDesign.REFERENCE, 1500)
+        assert small.goodput_bps < large.goodput_bps
+
+    def test_ndp_worse_than_reference(self):
+        for s in (64, 65, 97, 129, 512, 1500):
+            ndp = self.model.throughput(SwitchDesign.NDP, s)
+            ref = self.model.throughput(SwitchDesign.REFERENCE, s)
+            assert ndp.goodput_bps <= ref.goodput_bps
+
+    def test_ndp_fails_line_rate_at_known_sizes(self):
+        # §6.1.1: NDP misses line rate at 65B, 97B, 129B.
+        for s in (65, 97, 129):
+            point = self.model.throughput(SwitchDesign.NDP, s)
+            assert point.line_rate_fraction < 0.95
+
+    def test_unpacked_cells_waste_on_boundary_plus_one(self):
+        # 65B into 64B cells: two cells, half the second wasted.
+        at_64 = self.model.throughput(SwitchDesign.CELLS_UNPACKED, 64)
+        at_65 = self.model.throughput(SwitchDesign.CELLS_UNPACKED, 65)
+        assert at_65.goodput_bps < at_64.goodput_bps
+
+    def test_reference_full_line_rate_at_180mhz(self):
+        # §6.1.1: the Reference Switch reaches line rate for all sizes
+        # only at 180 MHz.
+        fast = NetFpgaModel(clock_hz=200_000_000)
+        for s in range(64, 1519, 31):
+            point = fast.throughput(SwitchDesign.REFERENCE, s)
+            assert point.line_rate_fraction > 0.99
+
+    def test_invalid_packet_size(self):
+        with pytest.raises(ValueError):
+            self.model.throughput(SwitchDesign.REFERENCE, 0)
+
+
+class TestFig8b:
+    def test_stardust_wins_every_trace(self):
+        model = NetFpgaModel()
+        for mix in PACKET_SIZE_MIXES.values():
+            scores = {
+                d: trace_throughput(model, d, mix) for d in SwitchDesign
+            }
+            best = scores.pop(SwitchDesign.STARDUST_PACKED)
+            assert best == pytest.approx(100.0, abs=0.5)
+            assert all(v < best for v in scores.values())
+
+    def test_ndp_is_worst(self):
+        # §6.1.1: "NDP is omitted as it performs worse than the
+        # standard switch".
+        model = NetFpgaModel()
+        for mix in PACKET_SIZE_MIXES.values():
+            assert trace_throughput(
+                model, SwitchDesign.NDP, mix
+            ) < trace_throughput(model, SwitchDesign.REFERENCE, mix)

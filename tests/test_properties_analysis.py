@@ -1,0 +1,127 @@
+"""Property-based tests on the analytical models and scaling math."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.mdq import (
+    md1_mean_queue,
+    md1_queue_distribution,
+    md1_tail_probability,
+)
+from repro.core.packing import cells_for_bytes
+from repro.pipeline.parallelism import (
+    standard_parallelism,
+    stardust_parallelism,
+)
+from repro.topology.scaling import (
+    fabric_switches,
+    link_bundles,
+    links_per_tor,
+    max_tors,
+    switches_per_tor,
+)
+
+radices = st.sampled_from([4, 8, 16, 32, 64, 128, 256])
+uplinks = st.integers(min_value=1, max_value=64)
+tiers = st.integers(min_value=1, max_value=6)
+loads = st.floats(min_value=0.01, max_value=0.97)
+
+
+class TestScalingProperties:
+    @given(k=radices, n=tiers)
+    def test_max_tors_monotone_in_tiers(self, k, n):
+        assert max_tors(k, n + 1) >= max_tors(k, n)
+
+    @given(k=radices, n=tiers)
+    def test_max_tors_closed_form(self, k, n):
+        assert max_tors(k, n) == 2 * (k // 2) ** n
+
+    @given(k=radices, t=uplinks, n=st.integers(min_value=1, max_value=4))
+    def test_switch_count_matches_per_tor_ratio(self, k, t, n):
+        total = fabric_switches(k, t, n)
+        per_tor = switches_per_tor(k, t, n)
+        assert total == per_tor * max_tors(k, n)
+
+    @given(k=radices, t=uplinks, l=st.integers(1, 8),
+           n=st.integers(min_value=1, max_value=4))
+    def test_links_bundles_consistency(self, k, t, l, n):
+        assert links_per_tor(k, t, l, n) * max_tors(k, n) == (
+            link_bundles(k, t, n) * l
+        )
+
+    @given(k=radices, n=st.integers(min_value=1, max_value=4))
+    def test_halving_radix_costs_2_to_n(self, k, n):
+        if k >= 8:
+            ratio = max_tors(k, n) / max_tors(k // 2, n)
+            assert ratio == 2**n
+
+
+class TestMD1Properties:
+    @settings(max_examples=25)
+    @given(rho=loads)
+    def test_distribution_is_normalized_probability(self, rho):
+        dist = md1_queue_distribution(rho, 150)
+        assert all(p >= 0 for p in dist)
+        assert abs(sum(dist) - 1.0) < 1e-9
+
+    @settings(max_examples=25)
+    @given(rho=loads)
+    def test_p0_equals_idle_fraction(self, rho):
+        dist = md1_queue_distribution(rho, 200)
+        assert abs(dist[0] - (1 - rho)) < 5e-3
+
+    @settings(max_examples=25)
+    @given(rho=loads, n=st.integers(min_value=1, max_value=50))
+    def test_tail_decreasing_in_n(self, rho, n):
+        assert md1_tail_probability(rho, n) >= md1_tail_probability(
+            rho, n + 1
+        ) - 1e-12
+
+    @settings(max_examples=25)
+    @given(rho=st.floats(min_value=0.01, max_value=0.9))
+    def test_mean_bounded_by_distribution_mean(self, rho):
+        dist = md1_queue_distribution(rho, 400)
+        empirical = sum(i * p for i, p in enumerate(dist))
+        theoretical = md1_mean_queue(rho)
+        assert abs(empirical - theoretical) < max(0.05, 0.1 * theoretical)
+
+
+class TestParallelismProperties:
+    B = 12_800_000_000_000
+
+    @given(size=st.integers(min_value=64, max_value=9000))
+    def test_standard_at_least_packet_rate_over_clock(self, size):
+        p = standard_parallelism(self.B, size)
+        assert p > 0
+
+    @given(size=st.integers(min_value=64, max_value=9000))
+    def test_stardust_independent_of_size(self, size):
+        assert stardust_parallelism(self.B, size) == stardust_parallelism(
+            self.B, 64
+        )
+
+    @given(
+        size=st.integers(min_value=64, max_value=8999),
+        bus=st.sampled_from([64, 128, 256, 512]),
+    )
+    def test_parallelism_never_drops_when_size_crosses_boundary(
+        self, size, bus
+    ):
+        # Crossing a bus boundary can only add slots (sawtooth up).
+        below = standard_parallelism(self.B, size, bus_bytes=bus)
+        above = standard_parallelism(self.B, size + 1, bus_bytes=bus)
+        if size % bus == 0:
+            assert above > below
+        # (between boundaries the curve declines smoothly; both cases
+        # are covered by the boundary assertion plus positivity.)
+
+    @given(
+        nbytes=st.integers(min_value=0, max_value=10**7),
+        payload=st.integers(min_value=1, max_value=4096),
+    )
+    def test_cells_for_bytes_is_exact_ceiling(self, nbytes, payload):
+        assert cells_for_bytes(nbytes, payload) == math.ceil(
+            nbytes / payload
+        )

@@ -1,0 +1,163 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim.engine import Event, PeriodicTask, SimError, Simulator
+
+
+def test_events_fire_in_time_order():
+    sim = Simulator()
+    order = []
+    sim.schedule(30, lambda: order.append("c"))
+    sim.schedule(10, lambda: order.append("a"))
+    sim.schedule(20, lambda: order.append("b"))
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_same_time_events_fire_in_schedule_order():
+    sim = Simulator()
+    order = []
+    for tag in range(5):
+        sim.schedule(100, lambda t=tag: order.append(t))
+    sim.run()
+    assert order == [0, 1, 2, 3, 4]
+
+
+def test_now_advances_to_event_time():
+    sim = Simulator()
+    seen = []
+    sim.schedule(42, lambda: seen.append(sim.now))
+    sim.run()
+    assert seen == [42]
+    assert sim.now == 42
+
+
+def test_run_until_stops_and_resumes():
+    sim = Simulator()
+    fired = []
+    sim.schedule(10, lambda: fired.append(10))
+    sim.schedule(50, lambda: fired.append(50))
+    sim.run(until=20)
+    assert fired == [10]
+    assert sim.now == 20
+    sim.run()
+    assert fired == [10, 50]
+
+
+def test_run_until_inclusive_of_boundary_event():
+    sim = Simulator()
+    fired = []
+    sim.schedule(20, lambda: fired.append(20))
+    sim.run(until=20)
+    assert fired == [20]
+
+
+def test_run_advances_clock_to_horizon_when_queue_drains():
+    sim = Simulator()
+    sim.run(until=1000)
+    assert sim.now == 1000
+
+
+def test_cancelled_event_does_not_fire():
+    sim = Simulator()
+    fired = []
+    event = sim.schedule(10, lambda: fired.append("no"))
+    event.cancel()
+    sim.schedule(20, lambda: fired.append("yes"))
+    sim.run()
+    assert fired == ["yes"]
+
+
+def test_scheduling_in_the_past_raises():
+    sim = Simulator()
+    sim.schedule(10, lambda: None)
+    sim.run()
+    with pytest.raises(SimError):
+        sim.at(5, lambda: None)
+
+
+def test_negative_delay_raises():
+    sim = Simulator()
+    with pytest.raises(SimError):
+        sim.schedule(-1, lambda: None)
+
+
+def test_events_scheduled_during_run_fire():
+    sim = Simulator()
+    order = []
+
+    def first():
+        order.append("first")
+        sim.schedule(5, lambda: order.append("second"))
+
+    sim.schedule(10, first)
+    sim.run()
+    assert order == ["first", "second"]
+    assert sim.now == 15
+
+
+def test_call_soon_runs_at_current_time():
+    sim = Simulator()
+    times = []
+
+    def outer():
+        sim.call_soon(lambda: times.append(sim.now))
+
+    sim.schedule(7, outer)
+    sim.run()
+    assert times == [7]
+
+
+def test_events_fired_counter():
+    sim = Simulator()
+    for i in range(10):
+        sim.schedule(i, lambda: None)
+    sim.run()
+    assert sim.events_fired == 10
+
+
+def test_max_events_limits_run():
+    sim = Simulator()
+    fired = []
+    for i in range(10):
+        sim.schedule(i + 1, lambda i=i: fired.append(i))
+    sim.run(max_events=3)
+    assert fired == [0, 1, 2]
+
+
+class TestPeriodicTask:
+    def test_fires_every_period(self):
+        sim = Simulator()
+        ticks = []
+        PeriodicTask(sim, 100, lambda: ticks.append(sim.now))
+        sim.run(until=450)
+        assert ticks == [100, 200, 300, 400]
+
+    def test_phase_controls_first_firing(self):
+        sim = Simulator()
+        ticks = []
+        PeriodicTask(sim, 100, lambda: ticks.append(sim.now), phase_ns=10)
+        sim.run(until=250)
+        assert ticks == [10, 110, 210]
+
+    def test_stop_halts_future_ticks(self):
+        sim = Simulator()
+        ticks = []
+        task = PeriodicTask(sim, 50, lambda: ticks.append(sim.now))
+        sim.schedule(120, task.stop)
+        sim.run(until=500)
+        assert ticks == [50, 100]
+
+    def test_set_period_takes_effect_next_rearm(self):
+        sim = Simulator()
+        ticks = []
+        task = PeriodicTask(sim, 100, lambda: ticks.append(sim.now))
+        sim.schedule(150, lambda: task.set_period(200))
+        sim.run(until=700)
+        assert ticks == [100, 200, 400, 600]
+
+    def test_zero_period_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimError):
+            PeriodicTask(sim, 0, lambda: None)

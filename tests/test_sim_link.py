@@ -1,0 +1,151 @@
+"""Unit tests for links: serialization, propagation, FIFO order, failure."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.entity import Entity
+from repro.sim.link import Link, LinkDown, duplex
+from repro.sim.units import GBPS, gbps
+
+
+class Sink(Entity):
+    def __init__(self, sim, name="sink"):
+        super().__init__(sim, name)
+        self.received = []
+
+    def receive(self, payload, link):
+        self.received.append((self.sim.now, payload))
+
+
+def make_link(sim, rate_bps=GBPS, prop=0):
+    src = Sink(sim, "src")
+    dst = Sink(sim, "dst")
+    return Link(sim, src, dst, rate_bps, prop), dst
+
+
+def test_serialization_delay_is_size_over_rate():
+    sim = Simulator()
+    link, dst = make_link(sim, rate_bps=GBPS)  # 1 Gbps => 8 ns/byte
+    link.send("x", 125)  # 1000 bits => 1000 ns
+    sim.run()
+    assert dst.received == [(1000, "x")]
+
+
+def test_propagation_delay_added_after_serialization():
+    sim = Simulator()
+    link, dst = make_link(sim, rate_bps=GBPS, prop=500)
+    link.send("x", 125)
+    sim.run()
+    assert dst.received == [(1500, "x")]
+
+
+def test_frames_serialize_back_to_back_in_fifo_order():
+    sim = Simulator()
+    link, dst = make_link(sim, rate_bps=GBPS)
+    link.send("a", 125)
+    link.send("b", 125)
+    sim.run()
+    assert dst.received == [(1000, "a"), (2000, "b")]
+
+
+def test_queue_accounting_and_peaks():
+    sim = Simulator()
+    link, _ = make_link(sim)
+    link.send("a", 100)  # starts transmitting immediately
+    link.send("b", 200)
+    link.send("c", 300)
+    assert link.queued_bytes == 500
+    assert link.queued_frames == 2
+    assert link.peak_queue_bytes == 500
+    sim.run()
+    assert link.queued_bytes == 0
+    assert link.tx_frames == 3
+    assert link.tx_bytes == 600
+
+
+def test_on_transmit_hook_fires_at_serialization_start():
+    sim = Simulator()
+    link, _ = make_link(sim)
+    starts = []
+    link.on_transmit = lambda payload: starts.append((sim.now, payload))
+    link.send("a", 125)
+    link.send("b", 125)
+    sim.run()
+    assert starts == [(0, "a"), (1000, "b")]
+
+
+def test_on_idle_fires_when_queue_drains():
+    sim = Simulator()
+    link, _ = make_link(sim)
+    idles = []
+    link.on_idle = lambda: idles.append(sim.now)
+    link.send("a", 125)
+    link.send("b", 125)
+    sim.run()
+    assert idles == [2000]
+
+
+def test_fail_drops_queued_and_in_flight():
+    sim = Simulator()
+    link, dst = make_link(sim, rate_bps=GBPS, prop=1000)
+    link.send("a", 125)
+    link.send("b", 125)
+    # Fail mid-serialization of "a".
+    sim.schedule(500, link.fail)
+    sim.run()
+    assert dst.received == []
+
+
+def test_send_on_down_link_raises():
+    sim = Simulator()
+    link, _ = make_link(sim)
+    link.fail()
+    with pytest.raises(LinkDown):
+        link.send("x", 10)
+
+
+def test_restore_allows_traffic_again():
+    sim = Simulator()
+    link, dst = make_link(sim)
+    link.fail()
+    link.restore()
+    link.send("x", 125)
+    sim.run()
+    assert [p for _, p in dst.received] == ["x"]
+
+
+def test_zero_size_frame_rejected():
+    sim = Simulator()
+    link, _ = make_link(sim)
+    with pytest.raises(ValueError):
+        link.send("x", 0)
+
+
+def test_bad_rate_rejected():
+    sim = Simulator()
+    a, b = Sink(sim, "a"), Sink(sim, "b")
+    with pytest.raises(ValueError):
+        Link(sim, a, b, 0)
+
+
+def test_duplex_creates_symmetric_pair_and_attaches_ports():
+    sim = Simulator()
+    a, b = Sink(sim, "a"), Sink(sim, "b")
+    fwd, rev = duplex(sim, a, b, gbps(50), propagation_ns=10)
+    assert fwd.src is a and fwd.dst is b
+    assert rev.src is b and rev.dst is a
+    assert a.ports == [fwd]
+    assert b.ports == [rev]
+    fwd.send("ping", 125)
+    rev.send("pong", 125)
+    sim.run()
+    assert [p for _, p in b.received] == ["ping"]
+    assert [p for _, p in a.received] == ["pong"]
+
+
+def test_50g_link_timing():
+    sim = Simulator()
+    link, dst = make_link(sim, rate_bps=gbps(50))
+    link.send("cell", 256)  # 2048 bits at 50 Gbps => 41 ns (rounded up)
+    sim.run()
+    assert dst.received[0][0] == 41

@@ -1,0 +1,92 @@
+"""Unit tests for the tracing facility."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.trace import Tracer
+
+
+def make():
+    sim = Simulator()
+    return sim, Tracer(sim, capacity=100)
+
+
+class TestTracer:
+    def test_disabled_categories_record_nothing(self):
+        sim, tracer = make()
+        tracer.record("credits", "fa0", "grant")
+        assert tracer.count() == 0
+
+    def test_enabled_category_records(self):
+        sim, tracer = make()
+        tracer.enable("credits")
+        tracer.record("credits", "fa0", "grant 4KB")
+        tracer.record("spray", "fa0", "not recorded")
+        assert tracer.count() == 1
+        assert tracer.records()[0].message == "grant 4KB"
+
+    def test_star_enables_everything(self):
+        sim, tracer = make()
+        tracer.enable("*")
+        tracer.record("anything", "x", "m")
+        assert tracer.count() == 1
+        tracer.disable("*")
+        tracer.record("anything", "x", "m")
+        assert tracer.count() == 1
+
+    def test_timestamps_come_from_sim(self):
+        sim, tracer = make()
+        tracer.enable("t")
+        sim.schedule(42, lambda: tracer.record("t", "a", "later"))
+        sim.run()
+        assert tracer.records()[0].time_ns == 42
+
+    def test_filtering(self):
+        sim, tracer = make()
+        tracer.enable("a", "b")
+        tracer.record("a", "x", "1")
+        tracer.record("b", "x", "2")
+        tracer.record("a", "y", "3")
+        assert tracer.count("a") == 2
+        assert len(tracer.records(source="x")) == 2
+        assert len(tracer.records(category="a", source="y")) == 1
+
+    def test_since_filter(self):
+        sim, tracer = make()
+        tracer.enable("t")
+        tracer.record("t", "x", "early")
+        sim.schedule(100, lambda: tracer.record("t", "x", "late"))
+        sim.run()
+        assert len(tracer.records(since_ns=50)) == 1
+
+    def test_ring_buffer_drops_oldest(self):
+        sim, tracer = make()
+        tracer.enable("t")
+        for i in range(150):
+            tracer.record("t", "x", str(i))
+        assert tracer.count() == 100
+        assert tracer.dropped == 50
+        assert tracer.records()[0].message == "50"
+
+    def test_wants_gate(self):
+        sim, tracer = make()
+        assert not tracer.wants("x")
+        tracer.enable("x")
+        assert tracer.wants("x")
+
+    def test_clear(self):
+        sim, tracer = make()
+        tracer.enable("t")
+        tracer.record("t", "x", "m")
+        tracer.clear()
+        assert tracer.count() == 0
+
+    def test_dump_format(self):
+        sim, tracer = make()
+        tracer.enable("t")
+        tracer.record("t", "fa0", "hello")
+        assert "fa0: hello" in tracer.dump()
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            Tracer(Simulator(), capacity=0)

@@ -1,0 +1,244 @@
+"""Tests for TCP NewReno, DCTCP, DCQCN and MPTCP host models."""
+
+import pytest
+
+from repro.baselines.ethernet import EthConfig
+from repro.baselines.push_fabric import PushFabricNetwork
+from repro.core.config import StardustConfig
+from repro.core.network import OneTierSpec, StardustNetwork
+from repro.net.addressing import PortAddress
+from repro.net.flow import Flow
+from repro.sim.units import KB, MB, MICROSECOND, MILLISECOND, gbps
+from repro.transport.dcqcn import DcqcnNotificationPoint, DcqcnSender
+from repro.transport.dctcp import DctcpSender
+from repro.transport.host import Host, make_hosts
+from repro.transport.mptcp import MptcpConnection
+
+SPEC = OneTierSpec(num_fas=4, uplinks_per_fa=4, hosts_per_fa=2)
+ADDRS = [PortAddress(f, p) for f in range(4) for p in range(2)]
+
+
+def stardust():
+    return StardustNetwork(SPEC, config=StardustConfig())
+
+
+def push(**cfg):
+    return PushFabricNetwork(SPEC, config=EthConfig(**cfg))
+
+
+class TestTcpBasics:
+    @pytest.mark.parametrize("make_net", [stardust, push])
+    def test_transfer_completes(self, make_net):
+        net = make_net()
+        hosts, tracker = make_hosts(net, ADDRS)
+        flow = Flow(src=ADDRS[0], dst=ADDRS[5], size_bytes=200 * KB)
+        hosts[ADDRS[0]].start_flow(flow)
+        net.run(50 * MILLISECOND)
+        stats = tracker.get(flow.flow_id)
+        assert stats.completed_ns is not None
+        assert stats.bytes_delivered >= 200 * KB
+
+    def test_short_flow_fast(self):
+        net = stardust()
+        hosts, tracker = make_hosts(net, ADDRS)
+        flow = Flow(src=ADDRS[0], dst=ADDRS[5], size_bytes=10 * KB)
+        hosts[ADDRS[0]].start_flow(flow)
+        net.run(5 * MILLISECOND)
+        fct = tracker.get(flow.flow_id).fct_ns
+        assert fct is not None
+        assert fct < 1 * MILLISECOND
+
+    def test_bidirectional_transfers(self):
+        net = stardust()
+        hosts, tracker = make_hosts(net, ADDRS)
+        f1 = Flow(src=ADDRS[0], dst=ADDRS[5], size_bytes=100 * KB)
+        f2 = Flow(src=ADDRS[5], dst=ADDRS[0], size_bytes=100 * KB)
+        hosts[ADDRS[0]].start_flow(f1)
+        hosts[ADDRS[5]].start_flow(f2)
+        net.run(50 * MILLISECOND)
+        assert tracker.get(f1.flow_id).completed_ns is not None
+        assert tracker.get(f2.flow_id).completed_ns is not None
+
+    def test_loss_recovery_on_push_fabric(self):
+        # Tiny buffers force drops; the transfer must still complete.
+        net = push(port_buffer_bytes=5_000, ecn_threshold_bytes=None)
+        hosts, tracker = make_hosts(net, ADDRS)
+        flows = []
+        for i in range(3):
+            flow = Flow(
+                src=PortAddress(i, 0), dst=PortAddress(3, 0),
+                size_bytes=50 * KB,
+            )
+            hosts[flow.src].start_flow(flow)
+            flows.append(flow)
+        net.run(200 * MILLISECOND)
+        assert net.total_drops() > 0
+        for flow in flows:
+            assert tracker.get(flow.flow_id).completed_ns is not None
+
+    def test_sender_respects_nic_backpressure(self):
+        net = stardust()
+        hosts, tracker = make_hosts(net, ADDRS)
+        flow = Flow(src=ADDRS[0], dst=ADDRS[5], size_bytes=None)
+        sender = hosts[ADDRS[0]].start_flow(flow)
+        net.run(5 * MILLISECOND)
+        host = hosts[ADDRS[0]]
+        # NIC queue stays at/under the backpressure threshold plus one
+        # in-flight MSS worth of slack.
+        assert host.ports[0].peak_queue_bytes <= (
+            host.tx_backpressure_bytes + 2 * 1500 + 100
+        )
+        assert host.nic_drops == 0
+
+    def test_rtt_estimation_runs(self):
+        net = stardust()
+        hosts, tracker = make_hosts(net, ADDRS)
+        flow = Flow(src=ADDRS[0], dst=ADDRS[5], size_bytes=100 * KB)
+        sender = hosts[ADDRS[0]].start_flow(flow)
+        net.run(20 * MILLISECOND)
+        assert sender.srtt_ns is not None
+        assert 0 < sender.srtt_ns < 5 * MILLISECOND
+
+
+class TestDctcp:
+    def test_transfer_completes_with_ecn(self):
+        net = push(port_buffer_bytes=100_000, ecn_threshold_bytes=15_000)
+        hosts, tracker = make_hosts(net, ADDRS)
+        flows = []
+        for i in range(3):
+            flow = Flow(
+                src=PortAddress(i, 0), dst=PortAddress(3, 0),
+                size_bytes=100 * KB,
+            )
+            hosts[flow.src].start_flow(flow, sender_cls=DctcpSender)
+            flows.append(flow)
+        net.run(100 * MILLISECOND)
+        for flow in flows:
+            assert tracker.get(flow.flow_id).completed_ns is not None
+
+    def test_alpha_rises_under_congestion(self):
+        net = push(port_buffer_bytes=60_000, ecn_threshold_bytes=10_000)
+        hosts, tracker = make_hosts(net, ADDRS)
+        senders = []
+        for i in range(3):
+            flow = Flow(
+                src=PortAddress(i, 0), dst=PortAddress(3, 0),
+                size_bytes=None,
+            )
+            senders.append(
+                hosts[flow.src].start_flow(flow, sender_cls=DctcpSender)
+            )
+        net.run(20 * MILLISECOND)
+        assert any(s.alpha > 0 for s in senders)
+
+    def test_alpha_stays_zero_without_congestion(self):
+        net = push(port_buffer_bytes=10**6, ecn_threshold_bytes=10**6)
+        hosts, tracker = make_hosts(net, ADDRS)
+        flow = Flow(src=ADDRS[0], dst=ADDRS[5], size_bytes=200 * KB)
+        sender = hosts[ADDRS[0]].start_flow(flow, sender_cls=DctcpSender)
+        net.run(50 * MILLISECOND)
+        assert sender.alpha == 0.0
+
+    def test_invalid_gain_rejected(self):
+        net = stardust()
+        hosts, _ = make_hosts(net, ADDRS)
+        flow = Flow(src=ADDRS[0], dst=ADDRS[5], size_bytes=1000)
+        with pytest.raises(ValueError):
+            DctcpSender(hosts[ADDRS[0]], flow, g=0)
+
+
+class TestDcqcn:
+    def test_paced_transfer_completes(self):
+        net = push()
+        hosts, tracker = make_hosts(net, ADDRS)
+        flow = Flow(src=ADDRS[0], dst=ADDRS[5], size_bytes=100 * KB)
+        dst_host = hosts[ADDRS[5]]
+        dst_host.install_receiver(
+            DcqcnNotificationPoint(dst_host, flow.flow_id)
+        )
+        hosts[ADDRS[0]].start_flow(
+            flow, sender_cls=DcqcnSender, line_rate_bps=gbps(50)
+        )
+        net.run(100 * MILLISECOND)
+        assert tracker.get(flow.flow_id).completed_ns is not None
+
+    def test_cnp_slows_sender(self):
+        net = push(port_buffer_bytes=200_000, ecn_threshold_bytes=8_000)
+        hosts, tracker = make_hosts(net, ADDRS)
+        senders = []
+        for i in range(2):
+            flow = Flow(
+                src=PortAddress(i, 0), dst=PortAddress(3, 0),
+                size_bytes=None,
+            )
+            dst_host = hosts[PortAddress(3, 0)]
+            dst_host.install_receiver(
+                DcqcnNotificationPoint(dst_host, flow.flow_id)
+            )
+            senders.append(
+                hosts[flow.src].start_flow(
+                    flow, sender_cls=DcqcnSender, line_rate_bps=gbps(50)
+                )
+            )
+        net.run(10 * MILLISECOND)
+        assert any(s.cnps_received > 0 for s in senders)
+        assert any(s.rc_bps < gbps(50) for s in senders)
+
+    def test_rate_recovers_after_congestion(self):
+        net = push()
+        hosts, _ = make_hosts(net, ADDRS)
+        flow = Flow(src=ADDRS[0], dst=ADDRS[5], size_bytes=None)
+        sender = hosts[ADDRS[0]].start_flow(
+            flow, sender_cls=DcqcnSender, line_rate_bps=gbps(50)
+        )
+        net.run(1 * MILLISECOND)
+        sender.on_cnp(None.__class__ if False else __import__("repro.net.packet", fromlist=["Packet"]).Packet(
+            size_bytes=64, src=ADDRS[5], dst=ADDRS[0],
+            flow_id=flow.flow_id, is_cnp=True,
+        ))
+        dipped = sender.rc_bps
+        assert dipped < gbps(50)
+        net.run(5 * MILLISECOND)
+        assert sender.rc_bps > dipped  # recovery stages kicked in
+
+
+class TestMptcp:
+    def test_transfer_completes(self):
+        net = push()
+        hosts, tracker = make_hosts(net, ADDRS)
+        flow = Flow(src=ADDRS[0], dst=ADDRS[5], size_bytes=400 * KB)
+        conn = MptcpConnection(hosts[ADDRS[0]], flow, n_subflows=4)
+        conn.start()
+        net.run(100 * MILLISECOND)
+        assert conn.done
+        assert tracker.get(flow.flow_id).completed_ns is not None
+        assert tracker.get(flow.flow_id).bytes_delivered >= 400 * KB
+
+    def test_subflows_take_different_paths(self):
+        net = push()
+        hosts, tracker = make_hosts(net, ADDRS)
+        flow = Flow(src=ADDRS[0], dst=ADDRS[5], size_bytes=None)
+        conn = MptcpConnection(hosts[ADDRS[0]], flow, n_subflows=8)
+        conn.start()
+        net.run(5 * MILLISECOND)
+        tor = net.tors[0]
+        used = sum(1 for p in tor.up_ports if p.out.tx_frames > 10)
+        assert used >= 2  # hashing spread the subflows
+
+    def test_share_striping_covers_all_bytes(self):
+        net = push()
+        hosts, tracker = make_hosts(net, ADDRS)
+        size = 1_000_003  # deliberately not divisible by n_subflows
+        flow = Flow(src=ADDRS[0], dst=ADDRS[5], size_bytes=size)
+        conn = MptcpConnection(hosts[ADDRS[0]], flow, n_subflows=4)
+        assert sum(s.total_bytes for s in conn.subflows) == size
+        conn.start()
+        net.run(200 * MILLISECOND)
+        assert tracker.get(flow.flow_id).bytes_delivered >= size
+
+    def test_invalid_subflow_count(self):
+        net = push()
+        hosts, _ = make_hosts(net, ADDRS)
+        flow = Flow(src=ADDRS[0], dst=ADDRS[5], size_bytes=1000)
+        with pytest.raises(ValueError):
+            MptcpConnection(hosts[ADDRS[0]], flow, n_subflows=0)
