@@ -4,29 +4,29 @@ Each benchmark regenerates one table or figure of the paper.  The
 simulations are scaled-down versions of the paper's setups (documented
 per benchmark); the *shape* of each result — who wins, by what rough
 factor, where crossovers sit — is asserted, not absolute numbers.
+
+Since the ``repro.experiments`` subsystem landed, this module is a thin
+compatibility veneer: networks are built by
+:mod:`repro.experiments.builders` and permutation runs execute through
+:func:`repro.experiments.runner.run_spec`, so benchmarks and declarative
+sweeps share one implementation.
 """
 
 from __future__ import annotations
 
-import random
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
-from repro.baselines.ethernet import EthConfig
-from repro.baselines.push_fabric import PushFabricNetwork
-from repro.core.config import StardustConfig
-from repro.core.network import StardustNetwork, TwoTierSpec
+from repro.experiments import builders
+from repro.experiments.registry import PERM_TOPOLOGY
+from repro.experiments.runner import run_spec
+from repro.experiments.spec import ScenarioSpec, TopologySpec, resolve_kind
 from repro.net.addressing import PortAddress
-from repro.sim.units import KB, MILLISECOND, gbps
-from repro.transport.dcqcn import DcqcnNotificationPoint, DcqcnSender
-from repro.transport.dctcp import DctcpSender
-from repro.transport.host import make_hosts
-from repro.workloads.permutation import host_permutation, start_permutation_flows
+from repro.sim.units import MILLISECOND, gbps
 
-#: The standard scaled-down 2-tier fabric used by host-level benches:
-#: 8 FAs x 4 hosts at 10G, full bisection (4x10G uplinks per FA).
-PERM_SPEC = TwoTierSpec(
-    pods=2, fas_per_pod=4, fes_per_pod=4, spines=4, hosts_per_fa=4
-)
+#: The standard scaled-down 2-tier fabric used by host-level benches —
+#: one definition, shared with the experiment registry's "permutation"
+#: scenario so the two can never silently diverge.
+PERM_SPEC = PERM_TOPOLOGY.build()
 PERM_ADDRS = [
     PortAddress(fa, p)
     for fa in range(PERM_SPEC.num_fas)
@@ -40,29 +40,20 @@ def stardust_network(
     rate=PERM_RATE,
     cell_bytes: int = 512,
     **overrides,
-) -> StardustNetwork:
+):
     """A Stardust fabric at benchmark scale.
 
     512B cells / 4KB credits follow the paper's own htsim shortcut
     ("intended to reduce simulation time", Appendix G).
     """
-    config = StardustConfig(
-        fabric_link_rate_bps=rate,
-        host_link_rate_bps=rate,
-        cell_size_bytes=cell_bytes,
-        cell_header_bytes=16,
-        **overrides,
+    return builders.stardust_network(
+        spec, rate=rate, cell_bytes=cell_bytes, **overrides
     )
-    return StardustNetwork(spec, config=config)
 
 
 def push_network(spec=PERM_SPEC, rate=PERM_RATE, **eth_overrides):
     """The Ethernet ECMP fabric on the same topology."""
-    config = EthConfig(**eth_overrides) if eth_overrides else EthConfig()
-    return PushFabricNetwork(
-        spec, config=config,
-        fabric_link_rate_bps=rate, host_link_rate_bps=rate,
-    )
+    return builders.push_network(spec, rate=rate, **eth_overrides)
 
 
 def permutation_throughput(
@@ -74,51 +65,26 @@ def permutation_throughput(
     addrs: Optional[Sequence[PortAddress]] = None,
 ) -> List[float]:
     """One Fig 10(a) run; returns sorted per-flow Gbps."""
-    addrs = list(addrs or PERM_ADDRS)
-    mapping = host_permutation(addrs, random.Random(seed))
-
-    if kind == "stardust":
-        net = stardust_network(spec)
-    else:
-        net = push_network(spec)
-    hosts, tracker = make_hosts(net, addrs)
-
-    kwargs: Dict = dict(mss=9000 - 40)
-    if kind == "mptcp":
-        flows = start_permutation_flows(
-            hosts, mapping, mptcp_subflows=8, **kwargs
-        )
-    elif kind == "dctcp":
-        flows = start_permutation_flows(
-            hosts, mapping, sender_cls=DctcpSender, **kwargs
-        )
-    elif kind == "dcqcn":
-        flows = []
-        from repro.net.flow import Flow
-
-        for src, dst in mapping.items():
-            flow = Flow(src=src, dst=dst, size_bytes=None)
-            receiver = hosts[dst]
-            receiver.install_receiver(
-                DcqcnNotificationPoint(receiver, flow.flow_id)
-            )
-            hosts[src].start_flow(
-                flow, sender_cls=DcqcnSender,
-                line_rate_bps=PERM_RATE, **kwargs,
-            )
-            flows.append(flow)
-    else:  # stardust / tcp
-        flows = start_permutation_flows(hosts, mapping, **kwargs)
-
-    net.run(warmup_ns)
-    marks = {f.flow_id: tracker.get(f.flow_id).bytes_delivered for f in flows}
-    net.run(window_ns)
-    rates = sorted(
-        (tracker.get(f.flow_id).bytes_delivered - marks[f.flow_id])
-        * 8 / (window_ns / 1e9) / 1e9
-        for f in flows
+    fabric, transport = resolve_kind(kind)
+    workload = {"kind": "permutation"}
+    if transport == "mptcp":
+        workload["mptcp_subflows"] = 8
+    if addrs is not None:
+        workload["addrs"] = [[a.fa, a.port] for a in addrs]
+    scenario = ScenarioSpec(
+        scenario="permutation",
+        topology=TopologySpec.of(spec),
+        fabric=fabric,
+        transport=transport,
+        workload=workload,
+        seed=seed,
+        warmup_ns=warmup_ns,
+        measure_ns=window_ns,
+        link_rate_bps=PERM_RATE,
     )
-    return rates
+    # hermetic=False keeps the historical in-process flow-id sequence,
+    # so existing benchmark outputs are reproduced bit for bit.
+    return run_spec(scenario, hermetic=False).flow_rates_gbps
 
 
 def print_series(title: str, rows: Sequence[tuple]) -> None:

@@ -6,7 +6,6 @@ from repro.analysis.cost import (
     FT_50G,
     FT_100G,
     STARDUST_25G,
-    network_cost_usd,
     relative_cost_series,
 )
 from repro.analysis.power import (

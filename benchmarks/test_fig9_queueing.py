@@ -9,14 +9,13 @@ last-stage (FE -> FA) links in cells, as in the paper, and compared
 against the M/D/1 model of §4.2.1.
 """
 
-import pytest
 from harness import print_series
 
 from repro.analysis.mdq import md1_tail_probability
 from repro.core.config import StardustConfig
 from repro.core.network import StardustNetwork, TwoTierSpec
 from repro.net.addressing import PortAddress
-from repro.sim.units import MICROSECOND, MILLISECOND, gbps
+from repro.sim.units import MILLISECOND, gbps
 from repro.workloads.generator import UniformRandomTraffic
 
 RATE = gbps(10)

@@ -1,6 +1,5 @@
 """Table 2 (Appendix A): element counts of an n-tier fat-tree."""
 
-from fractions import Fraction
 
 from harness import print_series
 

@@ -7,82 +7,64 @@ egress port's rate into the fabric and parks the rest in the *source*
 Fabric Adapters' deep buffers — no loss, and the egress scheduler
 drains all senders evenly (fair completion).
 
+Expressed as a declarative ``repro.experiments`` scenario — the same
+spec runs from the CLI: ``python -m repro.experiments run incast
+--kinds stardust,tcp``.
+
 Run:  python examples/incast_absorption.py
+      python examples/incast_absorption.py --backends 6 --response-kb 100
 """
 
-from repro.baselines.ethernet import EthConfig
-from repro.baselines.push_fabric import PushFabricNetwork
-from repro.core.config import StardustConfig
-from repro.core.network import OneTierSpec, StardustNetwork
-from repro.net.addressing import PortAddress
-from repro.sim.units import KB, MB, MILLISECOND, gbps
-from repro.transport.host import make_hosts
-from repro.workloads.incast import run_incast
+import argparse
 
-SPEC = OneTierSpec(num_fas=9, uplinks_per_fa=4, hosts_per_fa=1)
-ADDRS = [PortAddress(fa, 0) for fa in range(SPEC.num_fas)]
-FRONTEND = ADDRS[0]
-BACKENDS = ADDRS[1:]
-RESPONSE = 200 * KB
+from repro.experiments import build_scenario, run_spec
+from repro.sim.units import KB, MILLISECOND
 
 
-def stardust_network():
-    cfg = StardustConfig(
-        fabric_link_rate_bps=gbps(10),
-        host_link_rate_bps=gbps(10),
-        ingress_buffer_bytes=32 * MB,  # the deep, distributed buffer
-    )
-    return StardustNetwork(SPEC, config=cfg)
-
-
-def push_network():
-    cfg = EthConfig(port_buffer_bytes=150_000, ecn_threshold_bytes=None)
-    return PushFabricNetwork(
-        SPEC,
-        config=cfg,
-        fabric_link_rate_bps=gbps(10),
-        host_link_rate_bps=gbps(10),
-    )
-
-
-def run(label, network, drops_fn):
-    hosts, tracker = make_hosts(network, ADDRS)
-    result = run_incast(
-        network, hosts, tracker, FRONTEND, BACKENDS,
-        response_bytes=RESPONSE,
+def run(label, kind, args):
+    spec = build_scenario(
+        "incast",
+        kind=kind,
+        n_backends=args.backends,
+        response_bytes=args.response_kb * KB,
         timeout_ns=500 * MILLISECOND,
-        fabric_drops_fn=drops_fn(network),
     )
-    spread = result.fairness_spread
+    result = run_spec(spec)
+    metrics = result.metrics
     print(f"--- {label} ---")
-    print(f"  completed: {result.completed}/{len(BACKENDS)}")
-    first = result.first_fct_ns / 1e6 if result.first_fct_ns else None
-    last = result.last_fct_ns / 1e6 if result.last_fct_ns else None
-    print(f"  first FCT: {first:.2f} ms, last FCT: {last:.2f} ms")
-    print(f"  fairness (last/first): {spread:.2f}" if spread else "")
-    print(f"  drops inside the network: {result.fabric_drops}")
+    print(f"  completed: {metrics['completed']}/{args.backends}")
+    first = metrics["first_fct_ns"]
+    last = metrics["last_fct_ns"]
+    if first and last:
+        print(f"  first FCT: {first / 1e6:.2f} ms, "
+              f"last FCT: {last / 1e6:.2f} ms")
+    spread = metrics["fairness_spread"]
+    if spread:
+        print(f"  fairness (last/first): {spread:.2f}")
+    print(f"  drops inside the network: {result.drops}")
     return result
 
 
-def main() -> None:
-    star = run(
-        "Stardust (pull, scheduled)",
-        stardust_network(),
-        lambda net: lambda: net.fabric_cell_drops() + net.ingress_drops(),
-    )
-    push = run(
-        "Ethernet push fabric (ECMP, drop-tail)",
-        push_network(),
-        lambda net: lambda: net.total_drops(),
-    )
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--backends", type=int, default=8)
+    parser.add_argument("--response-kb", type=int, default=200)
+    args = parser.parse_args(argv)
 
-    assert star.fabric_drops == 0, "Stardust must absorb incast losslessly"
-    assert push.fabric_drops > 0, "the pushed fabric should be dropping"
-    if star.fairness_spread and push.fairness_spread:
-        assert star.fairness_spread < push.fairness_spread
-    print("\nStardust absorbed the incast with zero loss and "
-          f"{star.fairness_spread:.2f}x first-to-last spread; the pushed "
-          f"fabric dropped {push.fabric_drops} packets.")
+    star = run("Stardust (pull, scheduled)", "stardust", args)
+    push = run("Ethernet push fabric (ECMP, drop-tail)", "tcp", args)
+
+    assert star.drops == 0, "Stardust must absorb incast losslessly"
+    assert push.drops > 0, "the pushed fabric should be dropping"
+    star_spread = star.metrics["fairness_spread"]
+    push_spread = push.metrics["fairness_spread"]
+    if star_spread and push_spread:
+        assert star_spread < push_spread
+    print(
+        "\nStardust absorbed the incast with zero loss and "
+        f"{star_spread:.2f}x first-to-last spread; the pushed "
+        f"fabric dropped {push.drops} packets."
+    )
 
 
 if __name__ == "__main__":

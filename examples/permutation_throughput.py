@@ -6,75 +6,79 @@ The Ethernet fabric hashes each flow onto one path (collisions strand
 capacity); Stardust sprays cells across every path and schedules
 egress ports, so each flow gets its full line rate, fairly.
 
-This is a scaled-down Fig 10(a); the benchmark suite runs the fuller
+This is a scaled-down Fig 10(a), expressed as a declarative scenario
+and executed through ``repro.experiments`` — the same specs run from
+the CLI: ``python -m repro.experiments run permutation --kinds
+stardust,tcp,dctcp,mptcp``.  The benchmark suite runs the fuller
 version (benchmarks/test_fig10a_throughput.py).
 
 Run:  python examples/permutation_throughput.py
+      python examples/permutation_throughput.py --hosts-per-fa 2 --window-ms 1
 """
 
-import random
+import argparse
 
-from repro.baselines.push_fabric import PushFabricNetwork
-from repro.core.config import StardustConfig
-from repro.core.network import StardustNetwork, TwoTierSpec
-from repro.net.addressing import PortAddress
-from repro.sim.units import KB, MILLISECOND, gbps
-from repro.transport.dctcp import DctcpSender
-from repro.transport.host import make_hosts
-from repro.workloads.permutation import host_permutation, start_permutation_flows
+from repro.experiments import build_scenario, run_spec
+from repro.experiments.spec import TopologySpec
+from repro.sim.units import MILLISECOND, gbps
 
-SPEC = TwoTierSpec(pods=2, fas_per_pod=3, fes_per_pod=3, spines=3,
-                   hosts_per_fa=3)
-ADDRS = [
-    PortAddress(fa, p)
-    for fa in range(SPEC.num_fas)
-    for p in range(SPEC.hosts_per_fa)
+KINDS = [
+    ("Stardust + TCP", "stardust"),
+    ("Ethernet ECMP + TCP", "tcp"),
+    ("Ethernet ECMP + DCTCP", "dctcp"),
+    ("Ethernet ECMP + MPTCP x8", "mptcp"),
 ]
-RATE = gbps(10)
-WARMUP = 1 * MILLISECOND
-WINDOW = 4 * MILLISECOND
 
 
-def run(label, network, mapping, **flow_kwargs):
-    hosts, tracker = make_hosts(network, ADDRS)
-    flows = start_permutation_flows(hosts, mapping, mss=9000 - 40,
-                                    **flow_kwargs)
-    network.run(WARMUP)
-    marks = {f.flow_id: tracker.get(f.flow_id).bytes_delivered for f in flows}
-    network.run(WINDOW)
-    rates = sorted(
-        (tracker.get(f.flow_id).bytes_delivered - marks[f.flow_id])
-        * 8 / (WINDOW / 1e9) / 1e9
-        for f in flows
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--fas-per-pod", type=int, default=3)
+    parser.add_argument("--hosts-per-fa", type=int, default=3)
+    parser.add_argument("--warmup-ms", type=float, default=1.0)
+    parser.add_argument("--window-ms", type=float, default=4.0)
+    parser.add_argument("--seed", type=int, default=11)
+    args = parser.parse_args(argv)
+
+    topology = TopologySpec(
+        "two_tier",
+        dict(
+            pods=2,
+            fas_per_pod=args.fas_per_pod,
+            fes_per_pod=3,
+            spines=3,
+            hosts_per_fa=args.hosts_per_fa,
+        ),
     )
-    mean = sum(rates) / len(rates)
-    print(f"{label:24s} mean {mean:5.2f} Gbps ({100 * mean / 10:3.0f}%)  "
-          f"min {rates[0]:5.2f}  max {rates[-1]:5.2f}")
-    return mean
+    n_hosts = len(topology.addresses())
+    print(f"{n_hosts} hosts, one long flow each, 10G links\n")
 
+    means = {}
+    for label, kind in KINDS:
+        spec = build_scenario(
+            "permutation",
+            kind=kind,
+            seed=args.seed,
+            topology=topology,
+            warmup_ns=int(args.warmup_ms * MILLISECOND),
+            measure_ns=int(args.window_ms * MILLISECOND),
+            rate_bps=gbps(10),
+        )
+        result = run_spec(spec)
+        rates = result.flow_rates_gbps
+        mean = result.mean_rate_gbps
+        print(
+            f"{label:24s} mean {mean:5.2f} Gbps ({100 * mean / 10:3.0f}%)  "
+            f"min {rates[0]:5.2f}  max {rates[-1]:5.2f}"
+        )
+        means[kind] = mean
 
-def main() -> None:
-    mapping = host_permutation(ADDRS, random.Random(11))
-    print(f"{len(ADDRS)} hosts, one long flow each, 10G links\n")
-
-    cfg = StardustConfig(
-        fabric_link_rate_bps=RATE, host_link_rate_bps=RATE,
-        cell_size_bytes=512, cell_header_bytes=16,
+    star = means["stardust"]
+    best_ecmp = max(means["tcp"], means["dctcp"], means["mptcp"])
+    assert star > best_ecmp, "Stardust should win (Fig 10a)"
+    print(
+        f"\nStardust beats the best ECMP transport by "
+        f"{star / best_ecmp:.1f}x on mean throughput."
     )
-    star = run("Stardust + TCP", StardustNetwork(SPEC, config=cfg), mapping)
-
-    push = lambda: PushFabricNetwork(
-        SPEC, fabric_link_rate_bps=RATE, host_link_rate_bps=RATE
-    )
-    tcp = run("Ethernet ECMP + TCP", push(), mapping)
-    dctcp = run("Ethernet ECMP + DCTCP", push(), mapping,
-                sender_cls=DctcpSender)
-    mptcp = run("Ethernet ECMP + MPTCP x8", push(), mapping,
-                mptcp_subflows=8)
-
-    assert star > max(tcp, dctcp, mptcp), "Stardust should win (Fig 10a)"
-    print(f"\nStardust beats the best ECMP transport by "
-          f"{star / max(tcp, dctcp, mptcp):.1f}x on mean throughput.")
 
 
 if __name__ == "__main__":

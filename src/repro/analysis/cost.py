@@ -16,7 +16,11 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from repro.sim.units import GBPS
-from repro.topology.scaling import SwitchModel, max_tors, min_tiers_for_hosts, switches_per_tor
+from repro.topology.scaling import (
+    SwitchModel,
+    min_tiers_for_hosts,
+    switches_per_tor,
+)
 
 #: Table 3 list prices (USD).
 COMPONENT_PRICES: Dict[str, float] = {

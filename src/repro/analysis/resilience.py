@@ -10,8 +10,7 @@ cross ``2n - 1`` hops and be confirmed ``th`` times.  The worked example
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import List, Sequence
+from dataclasses import dataclass
 
 from repro.sim.units import GBPS
 

@@ -14,7 +14,7 @@ Autonomous output-queued switch with:
 from __future__ import annotations
 
 import hashlib
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.net.addressing import DeviceId

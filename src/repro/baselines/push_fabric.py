@@ -14,7 +14,7 @@ from typing import Dict, List, Optional
 
 from repro.baselines.ethernet import EthConfig, EthernetSwitch, EthPort
 from repro.core.network import OneTierSpec, TwoTierSpec
-from repro.net.addressing import DeviceId, PortAddress
+from repro.net.addressing import PortAddress
 from repro.sim.engine import Simulator
 from repro.sim.entity import Entity
 from repro.sim.link import Link

@@ -9,7 +9,7 @@ defaults follow the paper's running examples (256B cells, 4KB credits,
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.sim.units import KB, MB, MICROSECOND, gbps

@@ -14,7 +14,7 @@ arrive and pause it when the shallow buffer fills.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.core.cell import Cell, CellKind, VoqId
@@ -31,7 +31,7 @@ from repro.core.packing import pack_burst
 from repro.core.reachability import ReachabilityMonitor
 from repro.core.reassembly import ReassemblyEngine
 from repro.core.spray import SprayArbiter
-from repro.net.addressing import DeviceId, PortAddress
+from repro.net.addressing import DeviceId
 from repro.net.packet import Packet, PauseFrame
 from repro.sim.engine import PeriodicTask, Simulator
 from repro.sim.entity import Entity

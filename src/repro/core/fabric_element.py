@@ -11,8 +11,8 @@ deep buffers) is deliberately absent.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Set
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional
 
 from repro.core.cell import Cell, CellKind
 from repro.core.config import StardustConfig

@@ -23,10 +23,9 @@ from repro.core.control import ControlPlane
 from repro.core.fabric_adapter import FabricAdapter
 from repro.core.fabric_element import FabricElement, FabricPort
 from repro.net.addressing import DeviceId, PortAddress
-from repro.net.packet import Packet
 from repro.sim.engine import Simulator
 from repro.sim.entity import Entity
-from repro.sim.link import Link, duplex
+from repro.sim.link import Link
 from repro.sim.stats import Histogram
 
 

@@ -17,12 +17,11 @@ the edge — the "elimination of packet switches" of §1.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Optional
 
 from repro.core.config import StardustConfig
 from repro.core.fabric_adapter import FabricAdapter
 from repro.core.network import OneTierSpec, StardustNetwork
-from repro.net.addressing import PortAddress
 from repro.sim.units import KB, MB
 
 

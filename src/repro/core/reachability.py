@@ -13,8 +13,8 @@ tables), so it lives here as a reusable component.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, FrozenSet, Optional
+from dataclasses import dataclass
+from typing import Callable, Dict, FrozenSet
 
 from repro.net.addressing import DeviceId
 from repro.sim.engine import PeriodicTask, Simulator

@@ -11,7 +11,7 @@ benchmarks can show why the paper's choice wins.
 from __future__ import annotations
 
 import random
-from typing import Dict, Hashable, List, Optional, Sequence, TypeVar
+from typing import Dict, Hashable, Sequence, TypeVar
 
 L = TypeVar("L", bound=Hashable)
 

@@ -11,7 +11,7 @@ paper's "surplus data stored for later accounting".
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, List, Optional
+from typing import Deque, List
 
 from repro.core.cell import VoqId
 from repro.net.packet import Packet

@@ -1,0 +1,170 @@
+"""Command-line front end: ``python -m repro.experiments``.
+
+Examples::
+
+    python -m repro.experiments list
+    python -m repro.experiments show permutation --kind dctcp
+    python -m repro.experiments run permutation \
+        --kinds stardust,dctcp --seeds 3 --shards 4
+    python -m repro.experiments run incast --kinds stardust,tcp \
+        --set n_backends=8 --set response_bytes=100000
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Any, Dict, List
+
+from repro.experiments.registry import (
+    UnknownScenarioError,
+    build_scenario,
+    get_scenario,
+    scenario_names,
+)
+from repro.experiments.runner import run_matrix
+from repro.experiments.spec import ScenarioSpec
+from repro.experiments.store import ResultStore
+from repro.experiments.summarize import aggregate, format_table
+
+
+def _parse_value(text: str) -> Any:
+    """Interpret a --set value: JSON literal if possible, else string."""
+    try:
+        return json.loads(text)
+    except json.JSONDecodeError:
+        return text
+
+
+def _parse_params(pairs: List[str]) -> Dict[str, Any]:
+    params = {}
+    for pair in pairs:
+        if "=" not in pair:
+            raise SystemExit(f"--set expects key=value, got {pair!r}")
+        key, _, value = pair.partition("=")
+        params[key.strip()] = _parse_value(value.strip())
+    return params
+
+
+def _build_matrix(args) -> List[ScenarioSpec]:
+    params = _parse_params(args.set or [])
+    kinds = [k.strip() for k in args.kinds.split(",") if k.strip()]
+    base_params = dict(params)
+    base_seed = base_params.pop("seed", None)
+    specs = []
+    for kind in kinds:
+        first = build_scenario(args.scenario, kind=kind, **base_params)
+        start = base_seed if base_seed is not None else first.seed
+        for offset in range(args.seeds):
+            specs.append(first.with_updates(seed=start + offset))
+    return specs
+
+
+def cmd_list(_args) -> int:
+    for name in scenario_names():
+        entry = get_scenario(name)
+        print(f"{name:<16} {entry.description}")
+    return 0
+
+
+def cmd_show(args) -> int:
+    params = _parse_params(args.set or [])
+    spec = build_scenario(args.scenario, kind=args.kind, **params)
+    print(spec.to_json(indent=2))
+    print(f"# content hash: {spec.content_hash()}", file=sys.stderr)
+    return 0
+
+
+def cmd_run(args) -> int:
+    specs = _build_matrix(args)
+    store = None if args.no_cache else ResultStore(args.store)
+    started = time.monotonic()
+    results = run_matrix(
+        specs, shards=args.shards, store=store, progress=print
+    )
+    elapsed = time.monotonic() - started
+
+    if args.json:
+        print(json.dumps([r.to_dict() for r in results], indent=1))
+        return 0
+
+    print(
+        f"\n{len(results)} cells ({len(specs)} requested) "
+        f"in {elapsed:.1f}s wall"
+        + (
+            f"; cache: {store.hits} hits, {store.misses} misses "
+            f"-> {store.root}"
+            if store is not None
+            else ""
+        )
+    )
+    print()
+    print(format_table(aggregate(results)))
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Declarative scenario runner for the Stardust repro.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list registered scenarios")
+
+    show = sub.add_parser("show", help="print a scenario's spec as JSON")
+    show.add_argument("scenario")
+    show.add_argument("--kind", default="stardust")
+    show.add_argument(
+        "--set", action="append", metavar="KEY=VALUE",
+        help="override a scenario parameter (repeatable)",
+    )
+
+    run = sub.add_parser("run", help="run a scenario matrix")
+    run.add_argument("scenario")
+    run.add_argument(
+        "--kinds", default="stardust",
+        help="comma-separated kinds (stardust,tcp,dctcp,mptcp,dcqcn)",
+    )
+    run.add_argument(
+        "--seeds", type=int, default=1,
+        help="number of consecutive seeds per kind",
+    )
+    run.add_argument(
+        "--shards", type=int, default=1,
+        help="worker processes for the sweep",
+    )
+    run.add_argument(
+        "--set", action="append", metavar="KEY=VALUE",
+        help="override a scenario parameter (repeatable)",
+    )
+    run.add_argument(
+        "--store", default=None,
+        help="result store directory (default .experiment-store "
+             "or $REPRO_EXPERIMENT_STORE)",
+    )
+    run.add_argument(
+        "--no-cache", action="store_true",
+        help="always run, never read or write the store",
+    )
+    run.add_argument(
+        "--json", action="store_true", help="emit raw results as JSON"
+    )
+
+    args = parser.parse_args(argv)
+    handler = {"list": cmd_list, "show": cmd_show, "run": cmd_run}[
+        args.command
+    ]
+    try:
+        return handler(args)
+    except (UnknownScenarioError, ValueError, TypeError) as exc:
+        # Bad scenario names, kinds, parameters or config overrides all
+        # surface here as one-line errors rather than tracebacks.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

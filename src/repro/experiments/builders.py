@@ -1,0 +1,65 @@
+"""Materialize networks from declarative specs.
+
+The two helper constructors (:func:`stardust_network`,
+:func:`push_network`) are the single place fabric construction happens
+for experiments; ``benchmarks/harness.py`` delegates here so the
+benchmark suite and the experiment runner build byte-identical fabrics.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.baselines.ethernet import EthConfig
+from repro.baselines.push_fabric import PushFabricNetwork
+from repro.core.config import StardustConfig
+from repro.core.network import StardustNetwork
+from repro.experiments.spec import ScenarioSpec
+from repro.sim.units import gbps
+
+
+def stardust_network(
+    topology,
+    rate: int = gbps(10),
+    cell_bytes: int = 512,
+    cell_header_bytes: int = 16,
+    **overrides,
+) -> StardustNetwork:
+    """A Stardust fabric at benchmark scale.
+
+    512B cells / 4KB credits follow the paper's own htsim shortcut
+    ("intended to reduce simulation time", Appendix G).
+    """
+    kwargs = dict(
+        fabric_link_rate_bps=rate,
+        host_link_rate_bps=rate,
+        cell_size_bytes=cell_bytes,
+        cell_header_bytes=cell_header_bytes,
+    )
+    kwargs.update(overrides)  # explicit overrides win, even for cells
+    return StardustNetwork(topology, config=StardustConfig(**kwargs))
+
+
+def push_network(
+    topology, rate: int = gbps(10), **eth_overrides
+) -> PushFabricNetwork:
+    """The Ethernet ECMP fabric on the same topology."""
+    config = EthConfig(**eth_overrides) if eth_overrides else EthConfig()
+    return PushFabricNetwork(
+        topology, config=config,
+        fabric_link_rate_bps=rate, host_link_rate_bps=rate,
+    )
+
+
+def build_network(spec: ScenarioSpec, topology: Optional[object] = None):
+    """Build the network a :class:`ScenarioSpec` declares.
+
+    ``topology`` lets callers reuse an already-materialized topology
+    dataclass; by default it is built from ``spec.topology``.
+    """
+    topo = topology if topology is not None else spec.topology.build()
+    if spec.fabric == "stardust":
+        return stardust_network(
+            topo, rate=spec.link_rate_bps, **spec.config_overrides
+        )
+    return push_network(topo, rate=spec.link_rate_bps, **spec.config_overrides)

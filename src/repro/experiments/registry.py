@@ -1,0 +1,281 @@
+"""Named, parameterized scenario families.
+
+A *scenario* is a factory that turns keyword parameters into a concrete
+:class:`~repro.experiments.spec.ScenarioSpec`.  Registering one::
+
+    @scenario("permutation", description="one long flow per host")
+    def permutation(kind="stardust", seed=7, **params) -> ScenarioSpec:
+        ...
+
+and building one::
+
+    spec = build_scenario("permutation", kind="dctcp", seed=3)
+
+Every factory accepts at least ``kind`` (a
+:data:`~repro.experiments.spec.KIND_PRESETS` shorthand selecting fabric
+and transport) and ``seed``.  The pre-seeded families below cover the
+paper's evaluation workloads plus a mixed web/storage flow mix built on
+:mod:`repro.workloads.distributions`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from repro.experiments.spec import ScenarioSpec, TopologySpec, resolve_kind
+from repro.sim.units import KB, MB, MILLISECOND, gbps
+
+
+class UnknownScenarioError(KeyError):
+    """Raised when a scenario name is not in the registry."""
+
+    def __init__(self, name: str, known: List[str]) -> None:
+        super().__init__(name)
+        self.name = name
+        self.known = known
+
+    def __str__(self) -> str:
+        return (
+            f"unknown scenario {self.name!r}; "
+            f"registered: {', '.join(self.known) or '(none)'}"
+        )
+
+
+@dataclass
+class ScenarioEntry:
+    """One registered scenario factory."""
+
+    name: str
+    factory: Callable[..., ScenarioSpec]
+    description: str = ""
+
+
+_REGISTRY: Dict[str, ScenarioEntry] = {}
+
+
+def scenario(name: str, description: str = ""):
+    """Class of decorators registering a factory under ``name``."""
+
+    def register(factory: Callable[..., ScenarioSpec]):
+        if name in _REGISTRY:
+            raise ValueError(f"scenario {name!r} already registered")
+        _REGISTRY[name] = ScenarioEntry(
+            name, factory, description or (factory.__doc__ or "").strip()
+        )
+        return factory
+
+    return register
+
+
+def get_scenario(name: str) -> ScenarioEntry:
+    """The registry entry for ``name`` (UnknownScenarioError if absent)."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise UnknownScenarioError(name, sorted(_REGISTRY)) from None
+
+
+def build_scenario(name: str, **params) -> ScenarioSpec:
+    """Build a concrete spec from the named scenario family."""
+    return get_scenario(name).factory(**params)
+
+
+def scenario_names() -> List[str]:
+    """All registered scenario names, sorted."""
+    return sorted(_REGISTRY)
+
+
+# ----------------------------------------------------------------------
+# Pre-seeded scenario families
+# ----------------------------------------------------------------------
+
+#: The standard scaled-down 2-tier fabric used by host-level benches:
+#: 8 FAs x 4 hosts at 10G, full bisection (4x10G uplinks per FA).
+PERM_TOPOLOGY = TopologySpec(
+    "two_tier",
+    dict(pods=2, fas_per_pod=4, fes_per_pod=4, spines=4, hosts_per_fa=4),
+)
+
+
+@scenario("permutation", "every host sends one long flow to a distinct host")
+def permutation(
+    kind: str = "stardust",
+    seed: int = 7,
+    topology: TopologySpec = PERM_TOPOLOGY,
+    warmup_ns: int = 2 * MILLISECOND,
+    measure_ns: int = 6 * MILLISECOND,
+    rate_bps: int = gbps(10),
+    mptcp_subflows: int = 8,
+    **overrides,
+) -> ScenarioSpec:
+    fabric, transport = resolve_kind(kind)
+    workload = {"kind": "permutation"}
+    if transport == "mptcp":
+        workload["mptcp_subflows"] = mptcp_subflows
+    return ScenarioSpec(
+        scenario="permutation",
+        topology=topology,
+        fabric=fabric,
+        transport=transport,
+        workload=workload,
+        seed=seed,
+        warmup_ns=warmup_ns,
+        measure_ns=measure_ns,
+        link_rate_bps=rate_bps,
+        config_overrides=overrides,
+    )
+
+
+@scenario("incast", "all backends answer one frontend at the same instant")
+def incast(
+    kind: str = "stardust",
+    seed: int = 1,
+    n_backends: int = 8,
+    response_bytes: int = 200 * KB,
+    uplinks_per_fa: int = 4,
+    timeout_ns: int = 500 * MILLISECOND,
+    rate_bps: int = gbps(10),
+    mss: int = 1460,
+    **overrides,
+) -> ScenarioSpec:
+    fabric, transport = resolve_kind(kind)
+    topology = TopologySpec(
+        "one_tier",
+        dict(
+            num_fas=n_backends + 1,
+            uplinks_per_fa=uplinks_per_fa,
+            hosts_per_fa=1,
+        ),
+    )
+    # Defaults mirror examples/incast_absorption.py's historical setup:
+    # paper-default 256B cells, standard-MTU senders, a deep 32MB
+    # distributed ingress buffer vs a shallow drop-tail ToR.
+    if fabric == "stardust":
+        overrides.setdefault("cell_size_bytes", 256)
+        overrides.setdefault("ingress_buffer_bytes", 32 * MB)
+    else:
+        overrides.setdefault("port_buffer_bytes", 150_000)
+        overrides.setdefault("ecn_threshold_bytes", None)
+    return ScenarioSpec(
+        scenario="incast",
+        topology=topology,
+        fabric=fabric,
+        transport=transport,
+        workload={
+            "kind": "incast",
+            "n_backends": n_backends,
+            "response_bytes": response_bytes,
+        },
+        seed=seed,
+        warmup_ns=0,
+        measure_ns=timeout_ns,
+        link_rate_bps=rate_bps,
+        mss=mss,
+        config_overrides=overrides,
+    )
+
+
+@scenario("many_to_many", "every host sends a sized flow to every other rack")
+def many_to_many(
+    kind: str = "stardust",
+    seed: int = 1,
+    num_fas: int = 4,
+    hosts_per_fa: int = 2,
+    uplinks_per_fa: int = 4,
+    flow_bytes: int = 200 * KB,
+    timeout_ns: int = 200 * MILLISECOND,
+    rate_bps: int = gbps(10),
+    **overrides,
+) -> ScenarioSpec:
+    fabric, transport = resolve_kind(kind)
+    topology = TopologySpec(
+        "one_tier",
+        dict(
+            num_fas=num_fas,
+            uplinks_per_fa=uplinks_per_fa,
+            hosts_per_fa=hosts_per_fa,
+        ),
+    )
+    return ScenarioSpec(
+        scenario="many_to_many",
+        topology=topology,
+        fabric=fabric,
+        transport=transport,
+        workload={"kind": "many_to_many", "flow_bytes": flow_bytes},
+        seed=seed,
+        warmup_ns=0,
+        measure_ns=timeout_ns,
+        link_rate_bps=rate_bps,
+        config_overrides=overrides,
+    )
+
+
+@scenario("uniform_random", "open-loop Poisson traffic to random hosts (Fig 9)")
+def uniform_random(
+    kind: str = "stardust",
+    seed: int = 1,
+    utilization: float = 0.7,
+    packet_bytes: int = 1000,
+    packet_mix: str = "",
+    topology: TopologySpec = PERM_TOPOLOGY,
+    warmup_ns: int = 1 * MILLISECOND,
+    measure_ns: int = 4 * MILLISECOND,
+    rate_bps: int = gbps(10),
+    **overrides,
+) -> ScenarioSpec:
+    fabric, _ = resolve_kind(kind)
+    workload = {
+        "kind": "uniform_random",
+        "utilization": utilization,
+        "packet_bytes": packet_bytes,
+    }
+    if packet_mix:
+        workload["packet_mix"] = packet_mix
+    return ScenarioSpec(
+        scenario="uniform_random",
+        topology=topology,
+        fabric=fabric,
+        transport="none",
+        workload=workload,
+        seed=seed,
+        warmup_ns=warmup_ns,
+        measure_ns=measure_ns,
+        link_rate_bps=rate_bps,
+        config_overrides=overrides,
+    )
+
+
+@scenario("mixed", "Poisson arrivals of web + storage flows (FCT study)")
+def mixed(
+    kind: str = "stardust",
+    seed: int = 1,
+    load: float = 0.4,
+    web_fraction: float = 0.7,
+    storage_workload: str = "hadoop",
+    max_flows_per_host: int = 200,
+    topology: TopologySpec = PERM_TOPOLOGY,
+    warmup_ns: int = 1 * MILLISECOND,
+    measure_ns: int = 8 * MILLISECOND,
+    rate_bps: int = gbps(10),
+    **overrides,
+) -> ScenarioSpec:
+    fabric, transport = resolve_kind(kind)
+    return ScenarioSpec(
+        scenario="mixed",
+        topology=topology,
+        fabric=fabric,
+        transport=transport,
+        workload={
+            "kind": "mixed",
+            "load": load,
+            "web_fraction": web_fraction,
+            "storage_workload": storage_workload,
+            "max_flows_per_host": max_flows_per_host,
+        },
+        seed=seed,
+        warmup_ns=warmup_ns,
+        measure_ns=measure_ns,
+        link_rate_bps=rate_bps,
+        config_overrides=overrides,
+    )

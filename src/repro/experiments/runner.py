@@ -1,0 +1,505 @@
+"""Execute scenario specs — in-process or fanned out across shards.
+
+:func:`run_spec` executes one :class:`~repro.experiments.spec.ScenarioSpec`
+hermetically (fresh simulator, fresh flow-id space) and returns a typed
+:class:`RunResult`.  :func:`run_matrix` executes a list of specs,
+serving completed cells from a :class:`~repro.experiments.store.ResultStore`
+and fanning the misses out over ``multiprocessing`` shards (with an
+in-process fallback, used automatically when ``shards <= 1`` or the
+platform cannot fork/spawn workers).
+
+Because every run is hermetic, the same spec produces bit-identical
+results in-process, in a worker process, and across repeated sweeps —
+which is what makes the content-hash cache sound.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.experiments.builders import build_network
+from repro.experiments.spec import ScenarioSpec
+from repro.net.flow import Flow, reset_flow_ids
+from repro.transport.dcqcn import DcqcnNotificationPoint, DcqcnSender
+from repro.transport.dctcp import DctcpSender
+from repro.transport.host import make_hosts
+from repro.workloads.distributions import (
+    flow_size_distribution,
+    packet_size_distribution,
+)
+from repro.workloads.generator import UniformRandomTraffic
+from repro.workloads.incast import run_incast
+from repro.workloads.permutation import host_permutation, start_permutation_flows
+
+
+@dataclass
+class RunResult:
+    """Typed outcome of one scenario run (JSON round-trippable)."""
+
+    spec_hash: str
+    scenario: str
+    fabric: str
+    transport: str
+    seed: int
+    #: Sorted per-flow goodput over the measurement window (throughput
+    #: scenarios; empty otherwise).
+    flow_rates_gbps: List[float] = field(default_factory=list)
+    #: Sorted completion times of finished flows (FCT scenarios).
+    fcts_ns: List[int] = field(default_factory=list)
+    delivered_bytes: int = 0
+    drops: int = 0
+    sim_time_ns: int = 0
+    #: Workload-specific extras (fairness spread, queue depths, ...).
+    metrics: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-dict form for the store and the CLI."""
+        from dataclasses import asdict
+
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "RunResult":
+        """Rebuild from :meth:`to_dict` output."""
+        return cls(**data)
+
+    @property
+    def mean_rate_gbps(self) -> float:
+        """Mean of the per-flow rates (0 if none)."""
+        if not self.flow_rates_gbps:
+            return 0.0
+        return sum(self.flow_rates_gbps) / len(self.flow_rates_gbps)
+
+
+# ----------------------------------------------------------------------
+# Transport dispatch
+# ----------------------------------------------------------------------
+
+
+def _sender_kwargs(spec: ScenarioSpec) -> Dict[str, Any]:
+    """start_flow keyword arguments for the spec's transport."""
+    kwargs: Dict[str, Any] = dict(mss=spec.mss)
+    if spec.transport == "dctcp":
+        kwargs["sender_cls"] = DctcpSender
+    elif spec.transport == "dcqcn":
+        kwargs["sender_cls"] = DcqcnSender
+        kwargs["line_rate_bps"] = spec.link_rate_bps
+    return kwargs
+
+
+def _start_single_flow(hosts, flow: Flow, spec: ScenarioSpec) -> None:
+    """Start one flow under the spec's transport (incl. mptcp/dcqcn)."""
+    host = hosts[flow.src]
+    if spec.transport == "mptcp":
+        from repro.transport.mptcp import MptcpConnection
+
+        subflows = spec.workload.get("mptcp_subflows", 8)
+        conn = MptcpConnection(host, flow, n_subflows=subflows, mss=spec.mss)
+        if flow.start_ns:
+            host.sim.schedule(flow.start_ns, conn.start)
+        else:
+            conn.start()
+        return
+    kwargs = _sender_kwargs(spec)
+    if spec.transport == "dcqcn":
+        receiver = hosts[flow.dst]
+        receiver.install_receiver(
+            DcqcnNotificationPoint(receiver, flow.flow_id)
+        )
+    host.start_flow(flow, start_delay_ns=flow.start_ns, **kwargs)
+
+
+def _network_drops(net) -> int:
+    """Loss inside the network, whichever fabric this is."""
+    if hasattr(net, "total_drops"):
+        return net.total_drops()
+    return net.fabric_cell_drops() + net.ingress_drops()
+
+
+def _queue_metrics(net) -> Dict[str, float]:
+    """Fabric queue-depth summary (cells for Stardust, bytes for push)."""
+    hist = net.fabric_queue_depth()
+    if hist.count == 0:
+        return {}
+    unit = "bytes" if hasattr(net, "total_drops") else "cells"
+    return {
+        f"queue_mean_{unit}": hist.mean(),
+        f"queue_p99_{unit}": hist.pct(99),
+    }
+
+
+# ----------------------------------------------------------------------
+# Workload executors
+# ----------------------------------------------------------------------
+
+
+def _run_permutation(spec: ScenarioSpec, net) -> RunResult:
+    """One permutation-throughput run (the Fig 10(a) shape).
+
+    Mirrors the historical ``benchmarks/harness.py`` implementation
+    step for step, so identical seeds give identical per-flow rates.
+    """
+    wl_addrs = spec.workload.get("addrs")
+    if wl_addrs is not None:
+        from repro.net.addressing import PortAddress
+
+        addrs = [PortAddress(fa, port) for fa, port in wl_addrs]
+    else:
+        addrs = spec.topology.addresses()
+    mapping = host_permutation(addrs, random.Random(spec.seed))
+    hosts, tracker = make_hosts(net, addrs)
+
+    kwargs = _sender_kwargs(spec)
+    if spec.transport == "mptcp":
+        flows = start_permutation_flows(
+            hosts, mapping,
+            mptcp_subflows=spec.workload.get("mptcp_subflows", 8),
+            mss=spec.mss,
+        )
+    elif spec.transport == "dcqcn":
+        flows = start_permutation_flows(
+            hosts, mapping,
+            receiver_factory=lambda host, flow: DcqcnNotificationPoint(
+                host, flow.flow_id
+            ),
+            **kwargs,
+        )
+    else:
+        flows = start_permutation_flows(hosts, mapping, **kwargs)
+
+    net.run(spec.warmup_ns)
+    marks = {
+        f.flow_id: tracker.get(f.flow_id).bytes_delivered for f in flows
+    }
+    net.run(spec.measure_ns)
+    window_s = spec.measure_ns / 1e9
+    rates = sorted(
+        (tracker.get(f.flow_id).bytes_delivered - marks[f.flow_id])
+        * 8 / window_s / 1e9
+        for f in flows
+    )
+    delivered = sum(
+        tracker.get(f.flow_id).bytes_delivered - marks[f.flow_id]
+        for f in flows
+    )
+    metrics = {
+        "mean_gbps": sum(rates) / len(rates),
+        "min_gbps": rates[0],
+        "max_gbps": rates[-1],
+        **_queue_metrics(net),
+    }
+    return RunResult(
+        spec_hash=spec.content_hash(),
+        scenario=spec.scenario,
+        fabric=spec.fabric,
+        transport=spec.transport,
+        seed=spec.seed,
+        flow_rates_gbps=rates,
+        delivered_bytes=delivered,
+        drops=_network_drops(net),
+        sim_time_ns=net.sim.now,
+        metrics=metrics,
+    )
+
+
+def _run_incast(spec: ScenarioSpec, net) -> RunResult:
+    """One incast round (the Fig 10(c) shape)."""
+    if spec.transport == "mptcp":
+        raise ValueError("mptcp is not supported for the incast workload")
+    addrs = spec.topology.addresses()
+    n_backends = spec.workload.get("n_backends", len(addrs) - 1)
+    if n_backends >= len(addrs):
+        raise ValueError(
+            f"{n_backends} backends need {n_backends + 1} hosts, "
+            f"topology has {len(addrs)}"
+        )
+    frontend, backends = addrs[0], addrs[1 : 1 + n_backends]
+    hosts, tracker = make_hosts(net, addrs)
+    receiver_factory = None
+    if spec.transport == "dcqcn":
+        def receiver_factory(host, flow):
+            return DcqcnNotificationPoint(host, flow.flow_id)
+    result = run_incast(
+        net, hosts, tracker, frontend, backends,
+        response_bytes=spec.workload.get("response_bytes", 200_000),
+        timeout_ns=spec.measure_ns,
+        fabric_drops_fn=lambda: _network_drops(net),
+        receiver_factory=receiver_factory,
+        **_sender_kwargs(spec),
+    )
+    fcts = sorted(tracker.fcts_ns())
+    metrics = {
+        "first_fct_ns": result.first_fct_ns,
+        "last_fct_ns": result.last_fct_ns,
+        "fairness_spread": result.fairness_spread,
+        "completed": result.completed,
+        "all_completed": result.all_completed,
+        **_queue_metrics(net),
+    }
+    return RunResult(
+        spec_hash=spec.content_hash(),
+        scenario=spec.scenario,
+        fabric=spec.fabric,
+        transport=spec.transport,
+        seed=spec.seed,
+        fcts_ns=fcts,
+        delivered_bytes=sum(s.bytes_delivered for s in tracker.all()),
+        drops=result.fabric_drops,
+        sim_time_ns=net.sim.now,
+        metrics=metrics,
+    )
+
+
+def _run_many_to_many(spec: ScenarioSpec, net) -> RunResult:
+    """Every host sends one sized flow to every host on another FA."""
+    addrs = spec.topology.addresses()
+    hosts, tracker = make_hosts(net, addrs)
+    rng = random.Random(spec.seed)
+    flow_bytes = spec.workload.get("flow_bytes", 200 * 1024)
+    jitter_ns = spec.workload.get("start_jitter_ns", 10_000)
+    flows: List[Flow] = []
+    for src in addrs:
+        for dst in addrs:
+            if src.fa == dst.fa:
+                continue
+            flow = Flow(
+                src=src, dst=dst, size_bytes=flow_bytes,
+                start_ns=rng.randrange(jitter_ns) if jitter_ns else 0,
+            )
+            _start_single_flow(hosts, flow, spec)
+            flows.append(flow)
+    net.run(spec.measure_ns)
+    fcts = sorted(tracker.fcts_ns())
+    metrics = {
+        "offered_flows": len(flows),
+        "completed": len(fcts),
+        **_queue_metrics(net),
+    }
+    return RunResult(
+        spec_hash=spec.content_hash(),
+        scenario=spec.scenario,
+        fabric=spec.fabric,
+        transport=spec.transport,
+        seed=spec.seed,
+        fcts_ns=fcts,
+        delivered_bytes=sum(s.bytes_delivered for s in tracker.all()),
+        drops=_network_drops(net),
+        sim_time_ns=net.sim.now,
+        metrics=metrics,
+    )
+
+
+def _run_uniform_random(spec: ScenarioSpec, net) -> RunResult:
+    """Open-loop Poisson injectors at a target utilization (Fig 9)."""
+    addrs = spec.topology.addresses()
+    workload = spec.workload
+    size_dist = None
+    if workload.get("packet_mix"):
+        size_dist = packet_size_distribution(workload["packet_mix"])
+    traffic = UniformRandomTraffic(
+        net, addrs,
+        utilization=workload.get("utilization", 0.7),
+        packet_bytes=workload.get("packet_bytes", 1000),
+        size_dist=size_dist,
+        seed=spec.seed,
+    )
+    traffic.start()
+    net.run(spec.warmup_ns)
+    sent0, recv0 = traffic.total_sent(), traffic.total_received()
+    bytes0 = sum(i.bytes_received for i in traffic.injectors)
+    net.run(spec.measure_ns)
+    traffic.stop()
+    sent = traffic.total_sent() - sent0
+    received = traffic.total_received() - recv0
+    delivered = sum(i.bytes_received for i in traffic.injectors) - bytes0
+    metrics = {
+        "packets_sent": sent,
+        "packets_received": received,
+        "delivery_ratio": received / sent if sent else 0.0,
+        **_queue_metrics(net),
+    }
+    return RunResult(
+        spec_hash=spec.content_hash(),
+        scenario=spec.scenario,
+        fabric=spec.fabric,
+        transport=spec.transport,
+        seed=spec.seed,
+        delivered_bytes=delivered,
+        drops=_network_drops(net),
+        sim_time_ns=net.sim.now,
+        metrics=metrics,
+    )
+
+
+def _run_mixed(spec: ScenarioSpec, net) -> RunResult:
+    """Poisson arrivals of web + storage flows; FCT percentiles."""
+    addrs = spec.topology.addresses()
+    hosts, tracker = make_hosts(net, addrs)
+    workload = spec.workload
+    rng = random.Random(spec.seed)
+    web = flow_size_distribution("web")
+    storage = flow_size_distribution(
+        workload.get("storage_workload", "hadoop")
+    )
+    web_fraction = workload.get("web_fraction", 0.7)
+    load = workload.get("load", 0.4)
+    cap = workload.get("max_flows_per_host", 200)
+    horizon_ns = spec.warmup_ns + spec.measure_ns
+    mean_size = (
+        web_fraction * web.mean() + (1 - web_fraction) * storage.mean()
+    )
+    bytes_per_ns = spec.link_rate_bps * load / 8 / 1e9
+    flows_per_ns = bytes_per_ns / mean_size
+
+    flows: List[Flow] = []
+    truncated = 0
+    for src in addrs:
+        others = [a for a in addrs if a.fa != src.fa]
+        t = 0.0
+        count = 0
+        while True:
+            t += rng.expovariate(flows_per_ns)
+            if t >= horizon_ns:
+                break
+            if count >= cap:
+                truncated += 1
+                break
+            dist = web if rng.random() < web_fraction else storage
+            flow = Flow(
+                src=src,
+                dst=rng.choice(others),
+                size_bytes=max(1, dist.sample_int(rng)),
+                start_ns=int(t),
+            )
+            _start_single_flow(hosts, flow, spec)
+            flows.append(flow)
+            count += 1
+    net.run(horizon_ns)
+    fcts = sorted(tracker.fcts_ns())
+    metrics = {
+        "offered_flows": len(flows),
+        "completed": len(fcts),
+        "hosts_truncated": truncated,
+        **_queue_metrics(net),
+    }
+    # FCT split by size class — the paper's short-vs-long flow story.
+    small = sorted(
+        s.fct_ns for s in tracker.completed()
+        if s.fct_ns is not None and (s.flow.size_bytes or 0) <= 10_000
+    )
+    if small:
+        metrics["small_flow_median_fct_ns"] = small[len(small) // 2]
+    return RunResult(
+        spec_hash=spec.content_hash(),
+        scenario=spec.scenario,
+        fabric=spec.fabric,
+        transport=spec.transport,
+        seed=spec.seed,
+        fcts_ns=fcts,
+        delivered_bytes=sum(s.bytes_delivered for s in tracker.all()),
+        drops=_network_drops(net),
+        sim_time_ns=net.sim.now,
+        metrics=metrics,
+    )
+
+
+_EXECUTORS = {
+    "permutation": _run_permutation,
+    "incast": _run_incast,
+    "many_to_many": _run_many_to_many,
+    "uniform_random": _run_uniform_random,
+    "mixed": _run_mixed,
+}
+
+
+# ----------------------------------------------------------------------
+# Entry points
+# ----------------------------------------------------------------------
+
+
+def run_spec(spec: ScenarioSpec, hermetic: bool = True) -> RunResult:
+    """Execute one spec and return its result.
+
+    ``hermetic`` (the default) resets the global flow-id space first so
+    the result is independent of whatever ran earlier in this process —
+    required for the content-hash cache and cross-process determinism.
+    """
+    kind = spec.workload["kind"]
+    try:
+        executor = _EXECUTORS[kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown workload kind {kind!r}; "
+            f"known: {sorted(_EXECUTORS)}"
+        ) from None
+    if hermetic:
+        reset_flow_ids()
+    net = build_network(spec)
+    return executor(spec, net)
+
+
+def _worker_run(payload: str) -> Dict[str, Any]:
+    """Shard entry point: JSON spec in, result dict out (picklable)."""
+    spec = ScenarioSpec.from_json(payload)
+    return run_spec(spec).to_dict()
+
+
+def run_matrix(
+    specs: Sequence[ScenarioSpec],
+    shards: int = 1,
+    store=None,
+    progress=None,
+) -> List[RunResult]:
+    """Execute a spec matrix, one result per spec, input order preserved.
+
+    Cells whose hash is already in ``store`` are served from cache; the
+    misses run across ``shards`` worker processes (in-process when
+    ``shards <= 1``, a single spec remains, or multiprocessing is
+    unavailable).  Fresh results are persisted back to the store.
+    """
+    notify = progress or (lambda _msg: None)
+    results: List[Optional[RunResult]] = [None] * len(specs)
+    pending: List[int] = []
+    for i, spec in enumerate(specs):
+        cached = store.get(spec) if store is not None else None
+        if cached is not None:
+            results[i] = cached
+        else:
+            pending.append(i)
+    if store is not None and len(pending) < len(specs):
+        notify(
+            f"{len(specs) - len(pending)}/{len(specs)} cells from cache"
+        )
+
+    fresh: List[RunResult] = []
+    if pending:
+        payloads = [specs[i].to_json() for i in pending]
+        fresh = _execute(payloads, shards, notify)
+        for i, result in zip(pending, fresh):
+            results[i] = result
+            if store is not None:
+                store.put(specs[i], result)
+    return [r for r in results if r is not None]
+
+
+def _execute(
+    payloads: List[str], shards: int, notify
+) -> List[RunResult]:
+    """Run serialized specs, fanning out when it can help."""
+    if shards > 1 and len(payloads) > 1:
+        try:
+            import multiprocessing
+
+            workers = min(shards, len(payloads))
+            notify(f"running {len(payloads)} cells on {workers} shards")
+            with multiprocessing.Pool(processes=workers) as pool:
+                dicts = pool.map(_worker_run, payloads)
+            return [RunResult.from_dict(d) for d in dicts]
+        except (ImportError, OSError) as exc:
+            notify(f"multiprocessing unavailable ({exc}); running inline")
+    results = []
+    for payload in payloads:
+        results.append(RunResult.from_dict(_worker_run(payload)))
+    return results

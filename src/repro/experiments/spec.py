@@ -1,0 +1,168 @@
+"""Declarative, JSON-serializable experiment specifications.
+
+A :class:`ScenarioSpec` pins down everything one simulation run needs —
+topology shape, fabric kind, transport, workload, seed, warmup/measure
+windows and config overrides — as plain data.  Two specs with the same
+content always hash to the same value (:meth:`ScenarioSpec.content_hash`),
+which is what the result store keys cache cells by, and what makes a
+spec a reproducible claim rather than a pile of keyword arguments.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+from repro.core.network import OneTierSpec, ThreeTierSpec, TwoTierSpec
+from repro.sim.units import MILLISECOND, gbps
+
+#: Topology kind -> the concrete spec dataclass it materializes into.
+TOPOLOGY_KINDS = {
+    "one_tier": OneTierSpec,
+    "two_tier": TwoTierSpec,
+    "three_tier": ThreeTierSpec,
+}
+
+#: Shorthand experiment "kind" -> (fabric, transport).  These mirror the
+#: historical ``benchmarks/harness.py`` vocabulary: "stardust" is the
+#: pull fabric under plain TCP; everything else runs on the pushed
+#: Ethernet ECMP fabric under the named transport.
+KIND_PRESETS: Dict[str, Tuple[str, str]] = {
+    "stardust": ("stardust", "tcp"),
+    "tcp": ("push", "tcp"),
+    "ethernet": ("push", "tcp"),
+    "dctcp": ("push", "dctcp"),
+    "mptcp": ("push", "mptcp"),
+    "dcqcn": ("push", "dcqcn"),
+}
+
+#: Fabric names accepted by :class:`ScenarioSpec` ("ethernet" is an
+#: alias for the pushed Ethernet fabric).
+FABRICS = ("stardust", "push", "ethernet")
+TRANSPORTS = ("tcp", "dctcp", "mptcp", "dcqcn", "none")
+
+
+def resolve_kind(kind: str) -> Tuple[str, str]:
+    """Translate a harness-style ``kind`` into (fabric, transport)."""
+    try:
+        return KIND_PRESETS[kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown kind {kind!r}; choose from {sorted(KIND_PRESETS)}"
+        ) from None
+
+
+@dataclass
+class TopologySpec:
+    """A declarative topology: a kind plus its constructor parameters."""
+
+    kind: str = "two_tier"
+    params: Dict[str, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.kind not in TOPOLOGY_KINDS:
+            raise ValueError(
+                f"unknown topology kind {self.kind!r}; "
+                f"choose from {sorted(TOPOLOGY_KINDS)}"
+            )
+
+    @classmethod
+    def of(cls, topology) -> "TopologySpec":
+        """Wrap a concrete ``OneTierSpec``/``TwoTierSpec``/``ThreeTierSpec``."""
+        for kind, spec_cls in TOPOLOGY_KINDS.items():
+            if isinstance(topology, spec_cls):
+                params = {
+                    k: v for k, v in asdict(topology).items() if v is not None
+                }
+                return cls(kind=kind, params=params)
+        raise TypeError(f"unknown topology {type(topology).__name__}")
+
+    def build(self):
+        """Materialize the concrete (validated) topology dataclass."""
+        return TOPOLOGY_KINDS[self.kind](**self.params)
+
+    def addresses(self):
+        """All host port addresses of this topology, in attach order."""
+        from repro.net.addressing import PortAddress
+
+        topo = self.build()
+        return [
+            PortAddress(fa, port)
+            for fa in range(topo.num_fas)
+            for port in range(topo.hosts_per_fa)
+        ]
+
+
+@dataclass
+class ScenarioSpec:
+    """Everything one run needs, as JSON-serializable data.
+
+    ``workload`` is a dict with at least a ``"kind"`` key; the runner
+    dispatches on it.  ``config_overrides`` are applied on top of the
+    fabric's config (:class:`~repro.core.config.StardustConfig` fields
+    for the Stardust fabric, :class:`~repro.baselines.ethernet.EthConfig`
+    fields for the pushed fabric).
+    """
+
+    scenario: str
+    topology: TopologySpec
+    fabric: str = "stardust"
+    transport: str = "tcp"
+    workload: Dict[str, Any] = field(default_factory=lambda: {"kind": "permutation"})
+    seed: int = 1
+    warmup_ns: int = 2 * MILLISECOND
+    measure_ns: int = 6 * MILLISECOND
+    link_rate_bps: int = gbps(10)
+    mss: int = 9000 - 40
+    config_overrides: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if isinstance(self.topology, dict):
+            self.topology = TopologySpec(**self.topology)
+        if self.fabric not in FABRICS:
+            raise ValueError(
+                f"unknown fabric {self.fabric!r}; choose from {FABRICS}"
+            )
+        if self.transport not in TRANSPORTS:
+            raise ValueError(
+                f"unknown transport {self.transport!r}; "
+                f"choose from {TRANSPORTS}"
+            )
+        if "kind" not in self.workload:
+            raise ValueError("workload needs a 'kind' key")
+        if self.warmup_ns < 0 or self.measure_ns <= 0:
+            raise ValueError("windows must be positive")
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """A plain-dict form that round-trips through JSON."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ScenarioSpec":
+        """Rebuild a spec from :meth:`to_dict` output."""
+        return cls(**data)
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        """Canonical JSON (sorted keys) for storage and hashing."""
+        return json.dumps(self.to_dict(), sort_keys=True, indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ScenarioSpec":
+        """Rebuild a spec from :meth:`to_json` output."""
+        return cls.from_dict(json.loads(text))
+
+    def content_hash(self) -> str:
+        """Hex digest identifying this exact spec (store cache key)."""
+        return hashlib.sha256(self.to_json().encode()).hexdigest()[:24]
+
+    # ------------------------------------------------------------------
+    def with_updates(self, **changes) -> "ScenarioSpec":
+        """A copy of this spec with fields replaced."""
+        data = self.to_dict()
+        data.update(changes)
+        return ScenarioSpec.from_dict(data)

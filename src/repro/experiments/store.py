@@ -1,0 +1,94 @@
+"""Content-hash keyed result cache.
+
+Each completed cell of a sweep is one JSON file named by the spec's
+content hash, holding both the spec (for provenance/debugging) and the
+result.  Re-running a sweep therefore only pays for cells whose spec
+actually changed — the same trick build systems use, applied to
+simulation matrices.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import List, Optional
+
+from repro.experiments.runner import RunResult
+from repro.experiments.spec import ScenarioSpec
+
+#: Default on-disk location (overridable per-store or via environment).
+DEFAULT_STORE_DIR = ".experiment-store"
+STORE_DIR_ENV = "REPRO_EXPERIMENT_STORE"
+
+
+class ResultStore:
+    """Directory of ``<spec-hash>.json`` result cells."""
+
+    def __init__(self, root: Optional[os.PathLike] = None) -> None:
+        if root is None:
+            root = os.environ.get(STORE_DIR_ENV, DEFAULT_STORE_DIR)
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+
+    def path_for(self, spec: ScenarioSpec) -> Path:
+        """Where this spec's result cell lives (whether or not present)."""
+        return self.root / f"{spec.content_hash()}.json"
+
+    def has(self, spec: ScenarioSpec) -> bool:
+        """Whether a completed cell exists for this exact spec."""
+        return self.path_for(spec).exists()
+
+    def get(self, spec: ScenarioSpec) -> Optional[RunResult]:
+        """The cached result for ``spec``, or None (counts hit/miss)."""
+        path = self.path_for(spec)
+        try:
+            data = json.loads(path.read_text())
+        except (FileNotFoundError, json.JSONDecodeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return RunResult.from_dict(data["result"])
+
+    def put(self, spec: ScenarioSpec, result: RunResult) -> Path:
+        """Persist one cell atomically; returns its path."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self.path_for(spec)
+        payload = json.dumps(
+            {"spec": spec.to_dict(), "result": result.to_dict()},
+            sort_keys=True,
+            indent=1,
+        )
+        fd, tmp = tempfile.mkstemp(
+            dir=self.root, prefix=path.stem, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(payload)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def cells(self) -> List[Path]:
+        """All stored cell files."""
+        if not self.root.is_dir():
+            return []
+        return sorted(self.root.glob("*.json"))
+
+    def __len__(self) -> int:
+        return len(self.cells())
+
+    def clear(self) -> int:
+        """Delete every cell; returns how many were removed."""
+        removed = 0
+        for path in self.cells():
+            path.unlink()
+            removed += 1
+        return removed

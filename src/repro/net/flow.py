@@ -17,6 +17,18 @@ from repro.net.addressing import PortAddress
 _flow_ids = itertools.count(1)
 
 
+def reset_flow_ids(start: int = 1) -> None:
+    """Restart the global flow-id counter.
+
+    Flow ids feed the Ethernet baseline's ECMP hash, so a run's results
+    depend on how many flows the *process* created before it.  Hermetic
+    experiment runs (:mod:`repro.experiments.runner`) reset the counter
+    first so the same spec gives the same result in any process.
+    """
+    global _flow_ids
+    _flow_ids = itertools.count(start)
+
+
 @dataclass
 class Flow:
     """An application transfer.  ``size_bytes=None`` means long-running."""

@@ -156,6 +156,9 @@ class PeriodicTask:
         self._fn = fn
         self._stopped = False
         self._event: Optional[Event] = None
+        #: When the pending tick was armed (its period is measured from
+        #: here) — lets ``set_period`` re-derive the pending fire time.
+        self._armed_at = sim.now
         first = period_ns if phase_ns is None else phase_ns
         self._event = sim.schedule(first, self._tick)
 
@@ -165,16 +168,30 @@ class PeriodicTask:
         return self._period
 
     def set_period(self, period_ns: int) -> None:
-        """Change the period; takes effect from the next re-arm."""
+        """Change the period.
+
+        Lengthening takes effect from the next re-arm (the pending tick
+        fires as scheduled).  Shortening also pulls the pending tick
+        forward to ``armed_at + period_ns`` (clamped to now), so a
+        faster rate applies immediately instead of one stale period
+        later.
+        """
         if period_ns <= 0:
             raise SimError(f"period must be positive, got {period_ns}")
         self._period = period_ns
+        if self._stopped or self._event is None:
+            return
+        target = max(self._sim.now, self._armed_at + period_ns)
+        if target < self._event.time_ns:
+            self._event.cancel()
+            self._event = self._sim.at(target, self._tick)
 
     def _tick(self) -> None:
         if self._stopped:
             return
         self._fn()
         if not self._stopped:
+            self._armed_at = self._sim.now
             self._event = self._sim.schedule(self._period, self._tick)
 
     def stop(self) -> None:

@@ -8,7 +8,7 @@ same structure with a much larger (host-buffer-backed) capacity.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Generic, Iterator, Optional, TypeVar
 
 T = TypeVar("T")

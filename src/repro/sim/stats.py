@@ -8,8 +8,6 @@ time-weighted occupancies.
 from __future__ import annotations
 
 import math
-from bisect import insort
-from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence
 
 

@@ -9,7 +9,7 @@ running a simulation.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import List
 
 import networkx as nx
 

@@ -12,7 +12,7 @@ machinery.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING
 
 from repro.net.packet import Packet
 from repro.sim.engine import PeriodicTask

@@ -8,7 +8,7 @@ read their results from.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional
+from typing import Dict, Optional
 
 from repro.net.addressing import PortAddress
 from repro.net.flow import Flow, FlowTracker

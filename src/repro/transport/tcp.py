@@ -14,7 +14,7 @@ from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
 from repro.net.flow import Flow
 from repro.net.packet import Packet
 from repro.sim.engine import Event, Simulator
-from repro.sim.units import MICROSECOND, MILLISECOND
+from repro.sim.units import MICROSECOND
 
 if TYPE_CHECKING:
     from repro.transport.host import Host

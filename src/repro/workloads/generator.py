@@ -10,7 +10,7 @@ and :class:`UniformRandomTraffic` wires one injector per host.
 from __future__ import annotations
 
 import random
-from typing import Callable, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 from repro.net.addressing import PortAddress
 from repro.net.packet import Packet, wire_size

@@ -50,12 +50,15 @@ def run_incast(
     sender_cls=None,
     timeout_ns: int = 2_000 * MILLISECOND,
     fabric_drops_fn=None,
+    receiver_factory=None,
     **sender_kwargs,
 ) -> IncastResult:
     """Run one incast round and collect first/last FCTs.
 
     The request fan-out is abstracted away (requests are tiny); all
     backends start their responses at t=now, which is the worst case.
+    ``receiver_factory(frontend_host, flow)`` may pre-install a custom
+    receiver on the frontend per flow (DCQCN's notification point).
     """
     flows: List[Flow] = []
     for backend in backends:
@@ -64,6 +67,9 @@ def run_incast(
             start_ns=network.sim.now,
         )
         host = hosts[backend]
+        if receiver_factory is not None:
+            sink = hosts[frontend]
+            sink.install_receiver(receiver_factory(sink, flow))
         if sender_cls is not None:
             host.start_flow(flow, sender_cls=sender_cls, **sender_kwargs)
         else:

@@ -53,13 +53,23 @@ def start_permutation_flows(
     size_bytes: Optional[int] = None,
     sender_cls=None,
     mptcp_subflows: Optional[int] = None,
+    receiver_factory=None,
     **sender_kwargs,
 ) -> List[Flow]:
-    """Start one flow per mapping entry; returns the flow descriptors."""
+    """Start one flow per mapping entry; returns the flow descriptors.
+
+    ``receiver_factory(dst_host, flow)`` may build a custom receiver to
+    pre-install on the destination before the sender starts — DCQCN's
+    notification point, for instance — so transports that need one
+    share this flow-start path instead of hand-rolling their own loop.
+    """
     flows = []
     for src, dst in mapping.items():
         flow = Flow(src=src, dst=dst, size_bytes=size_bytes)
         host = hosts[src]
+        if receiver_factory is not None:
+            receiver = hosts[dst]
+            receiver.install_receiver(receiver_factory(receiver, flow))
         if mptcp_subflows is not None:
             from repro.transport.mptcp import MptcpConnection
 

@@ -4,7 +4,6 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core.config import StardustConfig
 from repro.core.network import OneTierSpec, StardustNetwork, TwoTierSpec
 from repro.net.addressing import PortAddress
 from repro.net.packet import Packet

@@ -2,13 +2,10 @@
 
 import pytest
 
-from repro.baselines.ethernet import EthConfig, EthernetSwitch
+from repro.baselines.ethernet import EthConfig
 from repro.baselines.push_fabric import PushFabricNetwork
 from repro.core.network import OneTierSpec, TwoTierSpec
 from repro.net.addressing import PortAddress
-from repro.net.packet import Packet
-from repro.sim.engine import Simulator
-from repro.sim.entity import Entity
 from repro.sim.units import MICROSECOND, MILLISECOND, gbps
 
 from tests.conftest import RecordingHost

@@ -13,7 +13,7 @@ from repro.core.control import (
 from repro.core.reachability import ReachabilityMonitor
 from repro.net.addressing import PortAddress
 from repro.sim.engine import Simulator
-from repro.sim.units import KB, MICROSECOND
+from repro.sim.units import MICROSECOND
 
 VOQ = VoqId(dst=PortAddress(2, 0))
 

@@ -4,7 +4,7 @@ import random
 
 import pytest
 
-from repro.core.cell import Cell, CellFragment, CellKind, VoqId
+from repro.core.cell import VoqId
 from repro.core.packing import pack_burst
 from repro.core.reassembly import ReassemblyEngine
 from repro.core.spray import SprayArbiter

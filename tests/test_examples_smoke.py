@@ -1,0 +1,56 @@
+"""Every script under examples/ must import and run.
+
+Each example runs as a subprocess (the way users run them), scaled down
+via CLI arguments where the script supports them, so examples cannot
+silently rot as the library evolves.  New example files are picked up
+automatically by the glob.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parent.parent
+EXAMPLES = sorted((REPO / "examples").glob("*.py"))
+
+#: Scale-down arguments for the slower examples; everything else runs
+#: with its defaults (they finish in about a second).
+SCALED_ARGS = {
+    "permutation_throughput.py": [
+        "--hosts-per-fa", "2", "--warmup-ms", "0.5", "--window-ms", "1",
+    ],
+    "scalability_planner.py": ["20000"],
+}
+
+
+def test_examples_exist():
+    assert EXAMPLES, "examples/ directory is empty?"
+
+
+@pytest.mark.parametrize(
+    "script", EXAMPLES, ids=lambda path: path.name
+)
+def test_example_runs_clean(script):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    args = SCALED_ARGS.get(script.name, [])
+    proc = subprocess.run(
+        [sys.executable, str(script), *args],
+        env=env,
+        cwd=REPO,
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, (
+        f"{script.name} exited with {proc.returncode}\n"
+        f"--- stdout ---\n{proc.stdout}\n--- stderr ---\n{proc.stderr}"
+    )
+    assert proc.stdout.strip(), f"{script.name} printed nothing"

@@ -1,0 +1,360 @@
+"""The repro.experiments subsystem: specs, registry, runner, store."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments import (
+    ResultStore,
+    RunResult,
+    ScenarioSpec,
+    TopologySpec,
+    UnknownScenarioError,
+    build_scenario,
+    get_scenario,
+    resolve_kind,
+    run_matrix,
+    run_spec,
+    scenario_names,
+)
+from repro.experiments.registry import scenario
+from repro.experiments.summarize import Summary, aggregate
+from repro.core.network import OneTierSpec, TwoTierSpec
+from repro.sim.units import MICROSECOND
+
+#: A deliberately tiny topology so runner tests stay fast.
+TINY = TopologySpec(
+    "one_tier", dict(num_fas=3, uplinks_per_fa=2, hosts_per_fa=1)
+)
+
+
+def tiny_permutation(kind: str, seed: int = 3) -> ScenarioSpec:
+    return build_scenario(
+        "permutation",
+        kind=kind,
+        seed=seed,
+        topology=TINY,
+        warmup_ns=100 * MICROSECOND,
+        measure_ns=400 * MICROSECOND,
+    )
+
+
+# ----------------------------------------------------------------------
+# Specs
+# ----------------------------------------------------------------------
+
+
+class TestScenarioSpec:
+    @pytest.mark.parametrize("name", ["permutation", "incast",
+                                      "many_to_many", "uniform_random",
+                                      "mixed"])
+    def test_round_trip_through_json(self, name):
+        spec = build_scenario(name, kind="dctcp", seed=5)
+        clone = ScenarioSpec.from_json(spec.to_json())
+        assert clone.to_dict() == spec.to_dict()
+        assert clone.content_hash() == spec.content_hash()
+
+    def test_hash_changes_with_content(self):
+        a = build_scenario("permutation", kind="stardust", seed=1)
+        assert a.content_hash() != a.with_updates(seed=2).content_hash()
+        assert (
+            a.content_hash()
+            != build_scenario("permutation", kind="dctcp", seed=1)
+            .content_hash()
+        )
+
+    def test_hash_is_stable_across_instances(self):
+        a = build_scenario("incast", kind="tcp", n_backends=4)
+        b = build_scenario("incast", kind="tcp", n_backends=4)
+        assert a is not b
+        assert a.content_hash() == b.content_hash()
+
+    def test_topology_spec_wraps_concrete_specs(self):
+        two = TwoTierSpec(
+            pods=2, fas_per_pod=3, fes_per_pod=3, spines=3, hosts_per_fa=2
+        )
+        wrapped = TopologySpec.of(two)
+        assert wrapped.kind == "two_tier"
+        assert wrapped.build() == two
+        one = OneTierSpec(num_fas=4, uplinks_per_fa=4, hosts_per_fa=1)
+        assert TopologySpec.of(one).build() == one
+
+    def test_topology_addresses_cover_all_ports(self):
+        addrs = TINY.addresses()
+        assert len(addrs) == 3
+        assert len(set(addrs)) == 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TopologySpec("ring", {})
+        with pytest.raises(ValueError):
+            build_scenario("permutation", kind="carrier-pigeon")
+        with pytest.raises(ValueError):
+            ScenarioSpec(scenario="x", topology=TINY, fabric="token-ring")
+        with pytest.raises(ValueError):
+            ScenarioSpec(scenario="x", topology=TINY, workload={})
+
+    def test_resolve_kind_presets(self):
+        assert resolve_kind("stardust") == ("stardust", "tcp")
+        assert resolve_kind("dctcp") == ("push", "dctcp")
+        assert resolve_kind("ethernet") == ("push", "tcp")
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+
+
+class TestRegistry:
+    def test_preseeded_scenarios_present(self):
+        names = scenario_names()
+        for expected in ("permutation", "incast", "many_to_many",
+                         "uniform_random", "mixed"):
+            assert expected in names
+
+    def test_lookup_returns_entry_with_description(self):
+        entry = get_scenario("permutation")
+        assert entry.name == "permutation"
+        assert entry.description
+
+    def test_unknown_scenario_raises_with_known_names(self):
+        with pytest.raises(UnknownScenarioError) as err:
+            get_scenario("does-not-exist")
+        assert "does-not-exist" in str(err.value)
+        assert "permutation" in str(err.value)
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError):
+            scenario("permutation")(lambda **kw: None)
+
+    def test_factory_parameters_flow_into_spec(self):
+        spec = build_scenario(
+            "incast", kind="tcp", n_backends=4, response_bytes=12_345
+        )
+        assert spec.workload["n_backends"] == 4
+        assert spec.workload["response_bytes"] == 12_345
+        assert spec.topology.params["num_fas"] == 5
+
+
+# ----------------------------------------------------------------------
+# Runner
+# ----------------------------------------------------------------------
+
+
+class TestRunner:
+    def test_unknown_workload_kind_rejected(self):
+        spec = tiny_permutation("stardust")
+        spec.workload = {"kind": "quantum-entanglement"}
+        with pytest.raises(ValueError):
+            run_spec(spec)
+
+    def test_run_produces_sensible_result(self):
+        result = run_spec(tiny_permutation("stardust"))
+        assert result.scenario == "permutation"
+        assert len(result.flow_rates_gbps) == 3
+        assert all(r > 0 for r in result.flow_rates_gbps)
+        assert result.delivered_bytes > 0
+        assert result.spec_hash == tiny_permutation("stardust").content_hash()
+
+    def test_result_round_trips_through_json(self):
+        result = run_spec(tiny_permutation("stardust"))
+        clone = RunResult.from_dict(json.loads(json.dumps(result.to_dict())))
+        assert clone == result
+
+    def test_repeat_runs_are_deterministic(self):
+        # "tcp" exercises the ECMP flow-id hash, the part most sensitive
+        # to process history; hermetic runs must erase that history.
+        first = run_spec(tiny_permutation("tcp"))
+        second = run_spec(tiny_permutation("tcp"))
+        assert first == second
+
+    def test_inprocess_and_multiprocess_agree(self):
+        specs = [tiny_permutation("tcp", seed=s) for s in (3, 4, 5, 6)]
+        inline = run_matrix(specs, shards=1)
+        sharded = run_matrix(specs, shards=4)
+        assert inline == sharded
+        # Different seeds give different permutations -> different runs.
+        assert inline[0] != inline[1]
+
+    def test_incast_backend_overflow_rejected(self):
+        spec = build_scenario("incast", kind="tcp", n_backends=2)
+        spec.workload["n_backends"] = 99
+        with pytest.raises(ValueError):
+            run_spec(spec)
+
+
+# ----------------------------------------------------------------------
+# Store
+# ----------------------------------------------------------------------
+
+
+class TestStore:
+    def test_miss_then_hit(self, tmp_path):
+        store = ResultStore(tmp_path / "cells")
+        spec = tiny_permutation("stardust")
+        assert store.get(spec) is None
+        assert store.misses == 1 and store.hits == 0
+
+        result = run_spec(spec)
+        path = store.put(spec, result)
+        assert path.exists()
+        assert store.has(spec)
+        assert len(store) == 1
+
+        cached = store.get(spec)
+        assert cached == result
+        assert store.hits == 1
+
+    def test_different_specs_occupy_different_cells(self, tmp_path):
+        store = ResultStore(tmp_path)
+        a = tiny_permutation("stardust", seed=1)
+        b = tiny_permutation("stardust", seed=2)
+        result = run_spec(a)
+        store.put(a, result)
+        assert store.has(a)
+        assert not store.has(b)
+
+    def test_corrupt_cell_counts_as_miss(self, tmp_path):
+        store = ResultStore(tmp_path)
+        spec = tiny_permutation("stardust")
+        store.put(spec, run_spec(spec))
+        store.path_for(spec).write_text("{not json")
+        assert store.get(spec) is None
+
+    def test_run_matrix_uses_the_cache(self, tmp_path):
+        store = ResultStore(tmp_path)
+        specs = [tiny_permutation("stardust", seed=s) for s in (3, 4)]
+        first = run_matrix(specs, store=store)
+        assert len(store) == 2
+        assert store.hits == 0
+
+        second = run_matrix(specs, store=store)
+        assert second == first
+        assert store.hits == 2
+
+    def test_clear_empties_the_store(self, tmp_path):
+        store = ResultStore(tmp_path)
+        spec = tiny_permutation("stardust")
+        store.put(spec, run_spec(spec))
+        assert store.clear() == 1
+        assert len(store) == 0
+
+
+# ----------------------------------------------------------------------
+# Other workloads & summaries
+# ----------------------------------------------------------------------
+
+
+class TestWorkloads:
+    def test_incast_collects_fcts(self):
+        spec = build_scenario(
+            "incast", kind="stardust", n_backends=3, response_bytes=20_000
+        )
+        result = run_spec(spec)
+        assert result.metrics["completed"] == 3
+        assert len(result.fcts_ns) == 3
+        assert result.drops == 0  # lossless pull fabric
+
+    def test_incast_dcqcn_installs_notification_points(self):
+        # DCQCN only reacts to CNPs, which only a notification point
+        # emits; the incast executor must install one per flow.
+        from repro.experiments.builders import build_network
+        from repro.transport.dcqcn import DcqcnNotificationPoint
+        from repro.transport.host import make_hosts
+        from repro.workloads.incast import run_incast
+
+        spec = build_scenario(
+            "incast", kind="dcqcn", n_backends=2, response_bytes=20_000
+        )
+        net = build_network(spec)
+        addrs = spec.topology.addresses()
+        hosts, tracker = make_hosts(net, addrs)
+        run_incast(
+            net, hosts, tracker, addrs[0], addrs[1:3],
+            response_bytes=20_000,
+            timeout_ns=5_000_000,
+            receiver_factory=lambda host, flow: DcqcnNotificationPoint(
+                host, flow.flow_id
+            ),
+        )
+        frontend = hosts[addrs[0]]
+        installed = [
+            frontend._receivers[f.flow_id]
+            for f in (s.flow for s in tracker.all())
+        ]
+        assert len(installed) == 2
+        assert all(
+            isinstance(r, DcqcnNotificationPoint) for r in installed
+        )
+
+    def test_incast_dcqcn_runs_end_to_end(self):
+        spec = build_scenario(
+            "incast", kind="dcqcn", n_backends=2, response_bytes=20_000
+        )
+        result = run_spec(spec)
+        assert result.metrics["completed"] == 2
+
+    def test_many_to_many_completes_flows(self):
+        spec = build_scenario(
+            "many_to_many",
+            kind="stardust",
+            num_fas=3,
+            hosts_per_fa=1,
+            uplinks_per_fa=2,
+            flow_bytes=20_000,
+            timeout_ns=50_000_000,
+        )
+        result = run_spec(spec)
+        assert result.metrics["offered_flows"] == 6
+        assert result.metrics["completed"] == 6
+
+    def test_uniform_random_delivers_most_packets(self):
+        spec = build_scenario(
+            "uniform_random",
+            kind="stardust",
+            utilization=0.3,
+            topology=TINY,
+            warmup_ns=50 * MICROSECOND,
+            measure_ns=200 * MICROSECOND,
+        )
+        result = run_spec(spec)
+        assert result.metrics["packets_sent"] > 0
+        assert result.metrics["delivery_ratio"] > 0.8
+
+    def test_mixed_runs_flows_from_both_distributions(self):
+        spec = build_scenario(
+            "mixed",
+            kind="stardust",
+            seed=2,
+            load=0.5,
+            topology=TINY,
+            warmup_ns=0,
+            measure_ns=2_000_000,
+            max_flows_per_host=5,
+        )
+        result = run_spec(spec)
+        assert result.metrics["offered_flows"] > 0
+        assert result.delivered_bytes > 0
+
+
+class TestSummarize:
+    def test_summary_percentiles(self):
+        summary = Summary.of([1, 2, 3, 4, 5])
+        assert summary.count == 5
+        assert summary.mean == 3
+        assert summary.p50 == 3
+        assert summary.minimum == 1 and summary.maximum == 5
+        assert Summary.of([]) is None
+
+    def test_aggregate_pools_across_seeds(self):
+        results = [
+            run_spec(tiny_permutation("stardust", seed=s)) for s in (3, 4)
+        ]
+        rows = aggregate(results)
+        assert len(rows) == 1
+        row = rows[0]
+        assert row.seeds == [3, 4]
+        assert row.rates_gbps.count == 6  # 3 flows x 2 seeds
+        assert row.label == "stardust"

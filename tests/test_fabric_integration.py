@@ -1,11 +1,10 @@
 """Integration tests: packets through whole Stardust fabrics."""
 
-import pytest
 
 from repro.core.config import StardustConfig
-from repro.core.network import OneTierSpec, StardustNetwork, TwoTierSpec
+from repro.core.network import OneTierSpec
 from repro.net.addressing import PortAddress
-from repro.sim.units import KB, MB, MICROSECOND, MILLISECOND, gbps
+from repro.sim.units import MICROSECOND, MILLISECOND
 
 from tests.conftest import build_network
 

@@ -4,10 +4,9 @@
 exhaustion, and degraded-but-alive operation.
 """
 
-import pytest
 
 from repro.core.config import StardustConfig
-from repro.core.network import OneTierSpec, StardustNetwork, TwoTierSpec
+from repro.core.network import OneTierSpec, TwoTierSpec
 from repro.net.addressing import PortAddress
 from repro.sim.units import KB, MICROSECOND, MILLISECOND, gbps
 

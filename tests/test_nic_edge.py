@@ -1,6 +1,5 @@
 """Tests for the §8 NIC-edge vision (core.nic)."""
 
-import pytest
 
 from repro.core.config import StardustConfig
 from repro.core.nic import (

@@ -8,7 +8,6 @@ from repro.core.credit import EgressScheduler
 from repro.core.network import OneTierSpec
 from repro.net.addressing import PortAddress
 from repro.net.flow import Flow
-from repro.net.packet import PauseFrame
 from repro.sim.engine import Simulator
 from repro.sim.units import KB, MICROSECOND, MILLISECOND, gbps
 from repro.transport.host import make_hosts

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim.engine import Event, PeriodicTask, SimError, Simulator
+from repro.sim.engine import PeriodicTask, SimError, Simulator
 
 
 def test_events_fire_in_time_order():
@@ -156,6 +156,43 @@ class TestPeriodicTask:
         sim.schedule(150, lambda: task.set_period(200))
         sim.run(until=700)
         assert ticks == [100, 200, 400, 600]
+
+    def test_set_period_shorter_rearms_pending_tick(self):
+        # Shortening must apply to the tick already in flight, not one
+        # stale period later: armed at t=100 for t=200, shortened to 30
+        # at t=150 -> due time 100+30=130 is past, so it fires now.
+        sim = Simulator()
+        ticks = []
+        task = PeriodicTask(sim, 100, lambda: ticks.append(sim.now))
+        sim.schedule(150, lambda: task.set_period(30))
+        sim.run(until=250)
+        assert ticks == [100, 150, 180, 210, 240]
+
+    def test_set_period_shorter_before_elapsed_moves_tick_up(self):
+        # Shortened before the new period has elapsed: the pending tick
+        # moves from armed_at+old to armed_at+new, not to "now".
+        sim = Simulator()
+        ticks = []
+        task = PeriodicTask(sim, 100, lambda: ticks.append(sim.now))
+        sim.schedule(120, lambda: task.set_period(50))
+        sim.run(until=300)
+        assert ticks == [100, 150, 200, 250, 300]
+
+    def test_set_period_from_within_callback(self):
+        # Changing the period inside the callback affects the re-arm
+        # without double-scheduling.
+        sim = Simulator()
+        ticks = []
+        task = None
+
+        def fire():
+            ticks.append(sim.now)
+            if len(ticks) == 2:
+                task.set_period(25)
+
+        task = PeriodicTask(sim, 100, fire)
+        sim.run(until=300)
+        assert ticks == [100, 200, 225, 250, 275, 300]
 
     def test_zero_period_rejected(self):
         sim = Simulator()

@@ -8,10 +8,10 @@ from repro.core.config import StardustConfig
 from repro.core.network import OneTierSpec, StardustNetwork
 from repro.net.addressing import PortAddress
 from repro.net.flow import Flow
-from repro.sim.units import KB, MB, MICROSECOND, MILLISECOND, gbps
+from repro.sim.units import KB, MILLISECOND, gbps
 from repro.transport.dcqcn import DcqcnNotificationPoint, DcqcnSender
 from repro.transport.dctcp import DctcpSender
-from repro.transport.host import Host, make_hosts
+from repro.transport.host import make_hosts
 from repro.transport.mptcp import MptcpConnection
 
 SPEC = OneTierSpec(num_fas=4, uplinks_per_fa=4, hosts_per_fa=2)

@@ -150,7 +150,6 @@ class TestRateInjector:
             )
 
     def test_negative_utilization_rejected(self):
-        import repro.workloads.generator as gen
         from repro.sim.engine import Simulator
 
         with pytest.raises(ValueError):
