@@ -7,7 +7,8 @@ factor, where crossovers sit — is asserted, not absolute numbers.
 
 Since the ``repro.experiments`` subsystem landed, this module is a thin
 compatibility veneer: networks are built by
-:mod:`repro.experiments.builders` and permutation runs execute through
+:mod:`repro.experiments.builders` (which resolves fabrics through the
+:mod:`repro.fabrics` registry) and permutation runs execute through
 :func:`repro.experiments.runner.run_spec`, so benchmarks and declarative
 sweeps share one implementation.
 """

@@ -15,7 +15,7 @@ Run:  python examples/failure_recovery.py
 """
 
 from repro.core.config import StardustConfig
-from repro.core.network import OneTierSpec, StardustNetwork
+from repro.fabrics import OneTierSpec, StardustNetwork
 from repro.net.addressing import PortAddress
 from repro.net.packet import Packet
 from repro.sim.entity import Entity

@@ -10,7 +10,7 @@ Run:  python examples/quickstart.py
 """
 
 from repro.core.config import StardustConfig
-from repro.core.network import StardustNetwork, TwoTierSpec
+from repro.fabrics import StardustNetwork, TwoTierSpec
 from repro.net.addressing import PortAddress
 from repro.net.flow import Flow
 from repro.sim.units import KB, MILLISECOND, gbps
@@ -64,9 +64,11 @@ def main() -> None:
               f"{stats.bytes_delivered} B in {fct_ms:.2f} ms "
               f"({stats.goodput_bps() / 1e9:.2f} Gbps)")
 
+    # The unified fabric metrics surface (same shape for every fabric).
+    metrics = network.collect_metrics()
     print(f"cells sprayed: {sum(fa.cells_sent for fa in network.fas)}")
-    print(f"fabric cell drops: {network.fabric_cell_drops()} (lossless)")
-    lat = network.cell_latency()
+    print(f"fabric cell drops: {metrics.fabric_drops} (lossless)")
+    lat = metrics.cell_latency_ns
     print(f"cell latency: min {lat.minimum() / 1000:.2f} us, "
           f"p99 {lat.pct(99) / 1000:.2f} us")
 
@@ -77,7 +79,7 @@ def main() -> None:
     print(f"fa0 per-uplink cells: min {min(counts)}, max {max(counts)} "
           f"(near-perfect balance)")
 
-    assert network.fabric_cell_drops() == 0
+    assert metrics.fabric_drops == 0
     assert all(tracker.get(f.flow_id).completed_ns is not None for f in flows)
     print("OK")
 

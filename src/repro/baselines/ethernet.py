@@ -90,6 +90,8 @@ class EthernetSwitch(Entity):
         self.dropped = 0
         self.ecn_marked = 0
         self.no_route_drops = 0
+        #: Payload bytes accepted onto host-facing ports (drops excluded).
+        self.delivered_host_bytes = 0
         self.queue_depth = Histogram(f"{name}.queue_bytes")
         self.sample_queues = False
 
@@ -174,4 +176,6 @@ class EthernetSwitch(Entity):
             packet.ecn = True
             self.ecn_marked += 1
         self.forwarded += 1
+        if port.direction == "host":
+            self.delivered_host_bytes += packet.size_bytes
         out.send(packet, packet.wire_bytes)

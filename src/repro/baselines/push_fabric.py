@@ -1,164 +1,12 @@
-"""A "push" data center fabric: the §5.2 strawman, fully built.
+"""Deprecated location — the push fabric moved to :mod:`repro.fabrics`.
 
-Same topologies as :class:`repro.core.network.StardustNetwork`
-(:class:`OneTierSpec` / :class:`TwoTierSpec`), same link rates and
-propagation — but every node is an autonomous Ethernet packet switch
-that pushes packets toward the destination with ECMP and drops on local
-congestion.  Host experiments run unchanged against either network, so
-Fig 7, Fig 10 and Fig 12 compare mechanism against mechanism.
+:class:`PushFabricNetwork` now lives in :mod:`repro.fabrics.push`
+(registered as the ``"push"`` fabric backend, alias ``"ethernet"``)
+and builds one/two/three-tier topologies from the shared wiring plan.
+This module re-exports it so existing imports keep working; new code
+should import from :mod:`repro.fabrics`.
 """
 
-from __future__ import annotations
+from repro.fabrics.push import PushFabricNetwork
 
-from typing import Dict, List, Optional
-
-from repro.baselines.ethernet import EthConfig, EthernetSwitch, EthPort
-from repro.core.network import OneTierSpec, TwoTierSpec
-from repro.net.addressing import PortAddress
-from repro.sim.engine import Simulator
-from repro.sim.entity import Entity
-from repro.sim.link import Link
-from repro.sim.stats import Histogram
-from repro.sim.units import gbps
-
-
-class PushFabricNetwork:
-    """Ethernet-switch fabric mirroring a Stardust topology."""
-
-    def __init__(
-        self,
-        spec,
-        config: Optional[EthConfig] = None,
-        sim: Optional[Simulator] = None,
-        fabric_link_rate_bps: int = gbps(50),
-        host_link_rate_bps: int = gbps(50),
-        fabric_propagation_ns: int = 100,
-        host_propagation_ns: int = 50,
-    ) -> None:
-        self.spec = spec
-        self.config = config or EthConfig()
-        self.sim = sim or Simulator()
-        self.fabric_link_rate_bps = fabric_link_rate_bps
-        self.host_link_rate_bps = host_link_rate_bps
-        self.fabric_propagation_ns = fabric_propagation_ns
-        self.host_propagation_ns = host_propagation_ns
-
-        self.tors: List[EthernetSwitch] = []
-        self.fabric: List[EthernetSwitch] = []
-        self._host_sinks: Dict[PortAddress, Entity] = {}
-
-        if isinstance(spec, OneTierSpec):
-            self._build_one_tier(spec)
-        elif isinstance(spec, TwoTierSpec):
-            self._build_two_tier(spec)
-        else:
-            raise TypeError(f"unknown spec {type(spec).__name__}")
-
-    # ------------------------------------------------------------------
-    def _new_switch(self, sid: int, name: str, tier: int) -> EthernetSwitch:
-        return EthernetSwitch(self.sim, self.config, sid, name, tier=tier)
-
-    def _connect(
-        self, lower: EthernetSwitch, upper: EthernetSwitch
-    ) -> EthPort:
-        """Full-duplex fabric link; installs routing both ways."""
-        up = Link(
-            self.sim, lower, upper, self.fabric_link_rate_bps,
-            self.fabric_propagation_ns, name=f"{lower.name}->{upper.name}",
-        )
-        down = Link(
-            self.sim, upper, lower, self.fabric_link_rate_bps,
-            self.fabric_propagation_ns, name=f"{upper.name}->{lower.name}",
-        )
-        lower.add_port(up, "up", neighbor=upper.switch_id)
-        down_port = upper.add_port(down, "down", neighbor=lower.switch_id)
-        return down_port
-
-    def _build_one_tier(self, spec: OneTierSpec) -> None:
-        for tor_id in range(spec.num_fas):
-            self.tors.append(self._new_switch(tor_id, f"tor{tor_id}", 0))
-        links_per_fe = spec.uplinks_per_fa // spec.fe_count
-        for i in range(spec.fe_count):
-            sw = self._new_switch(10_000 + i, f"agg{i}", 1)
-            sw.sample_queues = True
-            self.fabric.append(sw)
-            for tor in self.tors:
-                for _ in range(links_per_fe):
-                    down_port = self._connect(tor, sw)
-                    sw.add_down_route(tor.switch_id, down_port)
-
-    def _build_two_tier(self, spec: TwoTierSpec) -> None:
-        for tor_id in range(spec.num_fas):
-            self.tors.append(self._new_switch(tor_id, f"tor{tor_id}", 0))
-        tier1: List[EthernetSwitch] = []
-        sid = 10_000
-        for pod in range(spec.pods):
-            pod_tors = self.tors[
-                pod * spec.fas_per_pod : (pod + 1) * spec.fas_per_pod
-            ]
-            for _ in range(spec.fes_per_pod):
-                sw = self._new_switch(sid, f"agg{sid - 10_000}", 1)
-                sw.sample_queues = True
-                sid += 1
-                tier1.append(sw)
-                self.fabric.append(sw)
-                for tor in pod_tors:
-                    down_port = self._connect(tor, sw)
-                    sw.add_down_route(tor.switch_id, down_port)
-        spines: List[EthernetSwitch] = []
-        for _ in range(spec.spines):
-            spine = self._new_switch(sid, f"spine{sid - 10_000}", 2)
-            sid += 1
-            spines.append(spine)
-            self.fabric.append(spine)
-        for low in tier1:
-            for spine in spines:
-                down_port = self._connect(low, spine)
-                # The spine reaches every ToR below this tier-1 switch.
-                for tor_id in low._down_map:
-                    spine.add_down_route(tor_id, down_port)
-
-    # ------------------------------------------------------------------
-    def attach_host(
-        self, address: PortAddress, host: Entity
-    ) -> tuple[Link, Link]:
-        """Attach ``host`` at ``address``; returns (to_fabric, to_host)."""
-        if address in self._host_sinks:
-            raise ValueError(f"host already attached at {address}")
-        tor = self.tors[address.fa]
-        to_fabric = Link(
-            self.sim, host, tor, self.host_link_rate_bps,
-            self.host_propagation_ns, name=f"{host.name}->{tor.name}",
-        )
-        to_host = Link(
-            self.sim, tor, host, self.host_link_rate_bps,
-            self.host_propagation_ns, name=f"{tor.name}->{host.name}",
-        )
-        host.attach_port(to_fabric)
-        tor.add_port(to_host, "host", host_port_index=address.port)
-        self._host_sinks[address] = host
-        return to_fabric, to_host
-
-    def host_at(self, address: PortAddress) -> Entity:
-        """The host entity attached at ``address``."""
-        return self._host_sinks[address]
-
-    # ------------------------------------------------------------------
-    def run(self, duration_ns: int) -> None:
-        """Advance the simulation by ``duration_ns``."""
-        self.sim.run_for(duration_ns)
-
-    def total_drops(self) -> int:
-        """Packets dropped inside the network (ToRs + fabric)."""
-        return sum(s.dropped for s in self.tors + self.fabric)
-
-    def fabric_drops(self) -> int:
-        """Packets dropped in the fabric proper (§5.2's complaint)."""
-        return sum(s.dropped for s in self.fabric)
-
-    def fabric_queue_depth(self) -> Histogram:
-        """Merged queue-depth samples from fabric switches (bytes)."""
-        merged = Histogram("push.queue_bytes")
-        for sw in self.fabric:
-            merged.extend(sw.queue_depth.samples)
-        return merged
+__all__ = ["PushFabricNetwork"]

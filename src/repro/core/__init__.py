@@ -3,11 +3,12 @@
 Public surface:
 
 * :class:`StardustConfig` — every knob of the architecture.
-* :class:`StardustNetwork` with :class:`OneTierSpec` / :class:`TwoTierSpec`
-  — build and run a fabric.
 * :class:`FabricAdapter` / :class:`FabricElement` — the two device types.
 * Cells, VOQs, packing, credits, spray, reassembly, reachability — the
   mechanisms, individually importable and testable.
+* :class:`StardustNetwork` and the topology specs re-export from
+  :mod:`repro.fabrics`, their new home (resolved lazily so that
+  package can import the device modules above without a cycle).
 """
 
 from repro.core.cell import Cell, CellFragment, CellKind, VoqId
@@ -21,17 +22,28 @@ from repro.core.control import (
 from repro.core.credit import EgressScheduler
 from repro.core.fabric_adapter import FabricAdapter
 from repro.core.fabric_element import FabricElement, FabricPort
-from repro.core.network import (
-    OneTierSpec,
-    StardustNetwork,
-    ThreeTierSpec,
-    TwoTierSpec,
-)
 from repro.core.packing import burst_wire_bytes, cells_for_bytes, pack_burst
 from repro.core.reachability import ReachabilityMonitor
 from repro.core.reassembly import ReassemblyEngine
 from repro.core.spray import SprayArbiter
 from repro.core.voq import SharedBufferPool, Voq
+
+#: Names that now live in repro.fabrics, resolved on first access.
+_FABRIC_EXPORTS = (
+    "OneTierSpec",
+    "TwoTierSpec",
+    "ThreeTierSpec",
+    "StardustNetwork",
+)
+
+
+def __getattr__(name):
+    if name in _FABRIC_EXPORTS:
+        from repro.core import network
+
+        return getattr(network, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 
 __all__ = [
     "Cell",
@@ -47,10 +59,10 @@ __all__ = [
     "FabricAdapter",
     "FabricElement",
     "FabricPort",
-    "OneTierSpec",
-    "TwoTierSpec",
-    "ThreeTierSpec",
-    "StardustNetwork",
+    "OneTierSpec",  # noqa: F822 — lazy re-export from repro.fabrics
+    "TwoTierSpec",  # noqa: F822
+    "ThreeTierSpec",  # noqa: F822
+    "StardustNetwork",  # noqa: F822
     "pack_burst",
     "cells_for_bytes",
     "burst_wire_bytes",

@@ -118,7 +118,15 @@ class FabricElement(Entity):
         up_reaches_everything: bool = True,
     ) -> None:
         """Install forwarding state directly (reachability='static')."""
-        self._down_map = {d: list(ps) for d, ps in down_map.items()}
+        # Copy defensively against caller mutation, but only once per
+        # distinct input list: builders hand every edge of a pod the
+        # same port list, and the installed lists are never mutated in
+        # place (table rebuilds replace the whole dict).
+        copies: Dict[int, List[FabricPort]] = {}
+        self._down_map = {
+            d: copies.setdefault(id(ps), list(ps))
+            for d, ps in down_map.items()
+        }
         self._static_up_all = up_reaches_everything
 
     def enable_protocol(self) -> None:

@@ -1,483 +1,18 @@
-"""Builders that wire Fabric Adapters and Fabric Elements into fabrics.
+"""Deprecated location — fabric construction moved to :mod:`repro.fabrics`.
 
-Two concrete shapes cover the paper's evaluations:
-
-* :class:`OneTierSpec` — FAs <-> one row of FEs (the Arista 7500E-style
-  system of §6.1.2).
-* :class:`TwoTierSpec` — pods of FAs + tier-1 FEs, spine row of tier-2
-  FEs (the §6.2 simulation).
-
-Every physical link is an independent serial link (link bundle of one,
-the paper's core scaling argument).  ``reachability='static'`` installs
-forwarding tables directly; ``'dynamic'`` runs the live protocol so
-failure experiments can watch the fabric heal itself.
+:class:`StardustNetwork` now lives in :mod:`repro.fabrics.stardust`
+(registered as the ``"stardust"`` fabric backend) and the topology
+specs in :mod:`repro.fabrics.wiring`, where one wiring plan serves
+every fabric.  This module re-exports them so existing imports keep
+working; new code should import from :mod:`repro.fabrics`.
 """
 
-from __future__ import annotations
+from repro.fabrics.stardust import StardustNetwork
+from repro.fabrics.wiring import OneTierSpec, ThreeTierSpec, TwoTierSpec
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional
-
-from repro.core.config import StardustConfig
-from repro.core.control import ControlPlane
-from repro.core.fabric_adapter import FabricAdapter
-from repro.core.fabric_element import FabricElement, FabricPort
-from repro.net.addressing import DeviceId, PortAddress
-from repro.sim.engine import Simulator
-from repro.sim.entity import Entity
-from repro.sim.link import Link
-from repro.sim.stats import Histogram
-
-
-@dataclass(frozen=True)
-class OneTierSpec:
-    """FAs directly attached to a single row of Fabric Elements."""
-
-    num_fas: int
-    uplinks_per_fa: int
-    hosts_per_fa: int
-    num_fes: Optional[int] = None  # default: one uplink per FE
-
-    def __post_init__(self) -> None:
-        if self.num_fas < 2:
-            raise ValueError("need at least two Fabric Adapters")
-        if self.uplinks_per_fa < 1 or self.hosts_per_fa < 1:
-            raise ValueError("links per device must be positive")
-        fes = self.num_fes if self.num_fes is not None else self.uplinks_per_fa
-        if fes < 1 or self.uplinks_per_fa % fes != 0:
-            raise ValueError("uplinks_per_fa must be a multiple of num_fes")
-
-    @property
-    def tiers(self) -> int:
-        """Number of fabric tiers in this topology."""
-        return 1
-
-    @property
-    def fe_count(self) -> int:
-        """Number of Fabric Elements in the single tier."""
-        return self.num_fes if self.num_fes is not None else self.uplinks_per_fa
-
-
-@dataclass(frozen=True)
-class TwoTierSpec:
-    """Pods of (FAs x tier-1 FEs) under a spine row of tier-2 FEs.
-
-    Within a pod every FA has one link to every tier-1 FE; every tier-1
-    FE has one uplink to every spine.  This mirrors the §6.2 setup
-    (256 FAs, t=32, 128 tier-1 FEs, 64 spines) at configurable scale.
-    """
-
-    pods: int
-    fas_per_pod: int
-    fes_per_pod: int
-    spines: int
-    hosts_per_fa: int
-
-    def __post_init__(self) -> None:
-        if self.pods < 1:
-            raise ValueError("need at least one pod")
-        if min(self.fas_per_pod, self.fes_per_pod, self.spines) < 1:
-            raise ValueError("pod shape must be positive")
-        if self.hosts_per_fa < 1:
-            raise ValueError("hosts_per_fa must be positive")
-
-    @property
-    def tiers(self) -> int:
-        """Number of fabric tiers in this topology."""
-        return 2
-
-    @property
-    def num_fas(self) -> int:
-        """Total Fabric Adapters across all pods."""
-        return self.pods * self.fas_per_pod
-
-    @property
-    def uplinks_per_fa(self) -> int:
-        """Fabric uplinks per Fabric Adapter."""
-        return self.fes_per_pod
-
-
-@dataclass(frozen=True)
-class ThreeTierSpec:
-    """Pods of (FAs x tier-1 x tier-2) under a global tier-3 spine row.
-
-    Within a pod: every FA connects once to every tier-1 FE, every
-    tier-1 FE once to every tier-2 FE.  Globally: every tier-2 FE
-    connects once to every tier-3 spine.  §5.1: each added tier
-    multiplies reach by another factor of the radix — with unbundled
-    links, by the full radix.
-    """
-
-    pods: int
-    fas_per_pod: int
-    fes1_per_pod: int
-    fes2_per_pod: int
-    spines: int
-    hosts_per_fa: int
-
-    def __post_init__(self) -> None:
-        if self.pods < 1:
-            raise ValueError("need at least one pod")
-        if min(
-            self.fas_per_pod, self.fes1_per_pod,
-            self.fes2_per_pod, self.spines,
-        ) < 1:
-            raise ValueError("pod shape must be positive")
-        if self.hosts_per_fa < 1:
-            raise ValueError("hosts_per_fa must be positive")
-
-    @property
-    def tiers(self) -> int:
-        """Number of fabric tiers in this topology."""
-        return 3
-
-    @property
-    def num_fas(self) -> int:
-        """Total Fabric Adapters across all pods."""
-        return self.pods * self.fas_per_pod
-
-    @property
-    def uplinks_per_fa(self) -> int:
-        """Fabric uplinks per Fabric Adapter."""
-        return self.fes1_per_pod
-
-
-class StardustNetwork:
-    """A fully wired Stardust fabric plus host attachment points."""
-
-    def __init__(
-        self,
-        spec,
-        config: Optional[StardustConfig] = None,
-        sim: Optional[Simulator] = None,
-        reachability: str = "static",
-        spray_mode: str = "permutation",
-    ) -> None:
-        if reachability not in ("static", "dynamic"):
-            raise ValueError(f"unknown reachability mode {reachability!r}")
-        self.spec = spec
-        self.config = config or StardustConfig()
-        self.sim = sim or Simulator()
-        self.reachability = reachability
-
-        self.control = ControlPlane(self.sim, self._control_delay)
-        self.fas: List[FabricAdapter] = []
-        self.fes: List[FabricElement] = []
-        self._host_sinks: Dict[PortAddress, Entity] = {}
-
-        if isinstance(spec, OneTierSpec):
-            self._build_one_tier(spec, spray_mode)
-        elif isinstance(spec, TwoTierSpec):
-            self._build_two_tier(spec, spray_mode)
-        elif isinstance(spec, ThreeTierSpec):
-            self._build_three_tier(spec, spray_mode)
-        else:
-            raise TypeError(f"unknown spec {type(spec).__name__}")
-
-        if reachability == "dynamic":
-            for fa in self.fas:
-                fa.enable_protocol()
-            for fe in self.fes:
-                fe.enable_protocol()
-        else:
-            for fa in self.fas:
-                fa.set_static_reachability()
-
-    # ------------------------------------------------------------------
-    # Topology construction
-    # ------------------------------------------------------------------
-    def _control_delay(self, src: DeviceId, dst: DeviceId) -> int:
-        cfg = self.config
-        if src == dst:
-            return cfg.control_hop_ns
-        hops = 2 * self.spec.tiers
-        return hops * (cfg.control_hop_ns + cfg.fabric_propagation_ns)
-
-    def _new_fa(self, fa_id: int, spray_mode: str) -> FabricAdapter:
-        fa = FabricAdapter(
-            self.sim,
-            self.config,
-            fa_id,
-            f"fa{fa_id}",
-            self.control,
-            spray_mode=spray_mode,
-        )
-        self.fas.append(fa)
-        return fa
-
-    def _new_fe(self, fe_id: int, tier: int, spray_mode: str) -> FabricElement:
-        fe = FabricElement(
-            self.sim,
-            self.config,
-            fe_id,
-            tier,
-            f"fe{tier}.{fe_id}",
-            spray_mode=spray_mode,
-        )
-        self.fes.append(fe)
-        return fe
-
-    def _connect_fa_fe(self, fa: FabricAdapter, fe: FabricElement) -> None:
-        cfg = self.config
-        up = Link(
-            self.sim, fa, fe, cfg.fabric_link_rate_bps,
-            cfg.fabric_propagation_ns, name=f"{fa.name}->{fe.name}",
-        )
-        down = Link(
-            self.sim, fe, fa, cfg.fabric_link_rate_bps,
-            cfg.fabric_propagation_ns, name=f"{fe.name}->{fa.name}",
-        )
-        fa.add_uplink(up, down)
-        fe.add_port(fa.fa_id, down, up, direction="down")
-
-    def _connect_fe_fe(self, lower: FabricElement, upper: FabricElement) -> None:
-        cfg = self.config
-        up = Link(
-            self.sim, lower, upper, cfg.fabric_link_rate_bps,
-            cfg.fabric_propagation_ns, name=f"{lower.name}->{upper.name}",
-        )
-        down = Link(
-            self.sim, upper, lower, cfg.fabric_link_rate_bps,
-            cfg.fabric_propagation_ns, name=f"{upper.name}->{lower.name}",
-        )
-        lower.add_port(upper.fe_id, up, down, direction="up")
-        upper.add_port(lower.fe_id, down, up, direction="down")
-
-    def _build_one_tier(self, spec: OneTierSpec, spray_mode: str) -> None:
-        for fa_id in range(spec.num_fas):
-            self._new_fa(fa_id, spray_mode)
-        links_per_fe = spec.uplinks_per_fa // spec.fe_count
-        for fe_id in range(spec.fe_count):
-            fe = self._new_fe(fe_id, tier=1, spray_mode=spray_mode)
-            fe.sample_down_queues = True
-            for fa in self.fas:
-                for _ in range(links_per_fe):
-                    self._connect_fa_fe(fa, fe)
-        if self.reachability == "static":
-            for fe in self.fes:
-                down_map = {}
-                for port in fe.down_ports:
-                    down_map.setdefault(port.neighbor, []).append(port)
-                fe.set_static_reachability(down_map, up_reaches_everything=False)
-
-    def _build_two_tier(self, spec: TwoTierSpec, spray_mode: str) -> None:
-        for fa_id in range(spec.num_fas):
-            self._new_fa(fa_id, spray_mode)
-        tier1: List[FabricElement] = []
-        fe_id = 0
-        for pod in range(spec.pods):
-            pod_fas = self.fas[
-                pod * spec.fas_per_pod : (pod + 1) * spec.fas_per_pod
-            ]
-            for _ in range(spec.fes_per_pod):
-                fe = self._new_fe(fe_id, tier=1, spray_mode=spray_mode)
-                fe.sample_down_queues = True
-                fe_id += 1
-                tier1.append(fe)
-                for fa in pod_fas:
-                    self._connect_fa_fe(fa, fe)
-        spines: List[FabricElement] = []
-        for _ in range(spec.spines):
-            spine = self._new_fe(fe_id, tier=2, spray_mode=spray_mode)
-            fe_id += 1
-            spines.append(spine)
-        for fe in tier1:
-            for spine in spines:
-                self._connect_fe_fe(fe, spine)
-
-        if self.reachability == "static":
-            for fe in tier1:
-                down_map = {}
-                for port in fe.down_ports:
-                    down_map.setdefault(port.neighbor, []).append(port)
-                fe.set_static_reachability(down_map, up_reaches_everything=True)
-            for spine in spines:
-                # A spine's "down" ports are its only ports; it reaches a
-                # destination through every tier-1 FE in that FA's pod.
-                down_map: Dict[DeviceId, List[FabricPort]] = {}
-                by_neighbor = {p.neighbor: p for p in spine.down_ports}
-                for pod in range(spec.pods):
-                    pod_fes = tier1[
-                        pod * spec.fes_per_pod : (pod + 1) * spec.fes_per_pod
-                    ]
-                    pod_fas = self.fas[
-                        pod * spec.fas_per_pod : (pod + 1) * spec.fas_per_pod
-                    ]
-                    ports = [by_neighbor[fe.fe_id] for fe in pod_fes]
-                    for fa in pod_fas:
-                        down_map[fa.fa_id] = ports
-                spine.set_static_reachability(
-                    down_map, up_reaches_everything=False
-                )
-
-    def _build_three_tier(self, spec: ThreeTierSpec, spray_mode: str) -> None:
-        for fa_id in range(spec.num_fas):
-            self._new_fa(fa_id, spray_mode)
-        fe_id = 0
-        tier2_all: List[FabricElement] = []
-        pod_fas_of: Dict[int, List[FabricAdapter]] = {}
-        for pod in range(spec.pods):
-            pod_fas = self.fas[
-                pod * spec.fas_per_pod : (pod + 1) * spec.fas_per_pod
-            ]
-            pod_fas_of[pod] = pod_fas
-            tier1: List[FabricElement] = []
-            for _ in range(spec.fes1_per_pod):
-                fe = self._new_fe(fe_id, tier=1, spray_mode=spray_mode)
-                fe.sample_down_queues = True
-                fe_id += 1
-                tier1.append(fe)
-                for fa in pod_fas:
-                    self._connect_fa_fe(fa, fe)
-            tier2: List[FabricElement] = []
-            for _ in range(spec.fes2_per_pod):
-                fe = self._new_fe(fe_id, tier=2, spray_mode=spray_mode)
-                fe_id += 1
-                fe.pod = pod  # type: ignore[attr-defined]
-                tier2.append(fe)
-                tier2_all.append(fe)
-                for low in tier1:
-                    self._connect_fe_fe(low, fe)
-        spines: List[FabricElement] = []
-        for _ in range(spec.spines):
-            spine = self._new_fe(fe_id, tier=3, spray_mode=spray_mode)
-            fe_id += 1
-            spines.append(spine)
-        for mid in tier2_all:
-            for spine in spines:
-                self._connect_fe_fe(mid, spine)
-
-        if self.reachability == "static":
-            # Tier-1: direct down routes to pod FAs; anything else up.
-            for fe in self.fes:
-                if fe.tier == 1:
-                    down_map = {}
-                    for port in fe.down_ports:
-                        down_map.setdefault(port.neighbor, []).append(port)
-                    fe.set_static_reachability(
-                        down_map, up_reaches_everything=True
-                    )
-            # Tier-2: every FA of the own pod is below (via any tier-1
-            # port); other pods are up through the spines.
-            for fe in self.fes:
-                if fe.tier == 2:
-                    pod = fe.pod  # type: ignore[attr-defined]
-                    down_map = {
-                        fa.fa_id: list(fe.down_ports)
-                        for fa in pod_fas_of[pod]
-                    }
-                    fe.set_static_reachability(
-                        down_map, up_reaches_everything=True
-                    )
-            # Spines: reach a FA through any tier-2 FE of its pod.
-            for spine in self.fes:
-                if spine.tier != 3:
-                    continue
-                ports_by_pod: Dict[int, List[FabricPort]] = {}
-                for port in spine.down_ports:
-                    mid = next(
-                        fe for fe in self.fes if fe.fe_id == port.neighbor
-                    )
-                    ports_by_pod.setdefault(
-                        mid.pod, []  # type: ignore[attr-defined]
-                    ).append(port)
-                down_map = {}
-                for pod, fas in pod_fas_of.items():
-                    for fa in fas:
-                        down_map[fa.fa_id] = ports_by_pod[pod]
-                spine.set_static_reachability(
-                    down_map, up_reaches_everything=False
-                )
-
-    # ------------------------------------------------------------------
-    # Hosts
-    # ------------------------------------------------------------------
-    def attach_host(
-        self, address: PortAddress, host: Entity
-    ) -> tuple[Link, Link]:
-        """Attach ``host`` at ``address``; returns (to_fabric, to_host).
-
-        The host sends packets on the first returned link; the Fabric
-        Adapter delivers reassembled packets on the second.
-        """
-        if address in self._host_sinks:
-            raise ValueError(f"host already attached at {address}")
-        fa = self.fas[address.fa]
-        if address.port != len(fa.egress_ports):
-            raise ValueError(
-                f"attach ports in order: expected port "
-                f"{len(fa.egress_ports)}, got {address.port}"
-            )
-        cfg = self.config
-        to_fabric = Link(
-            self.sim, host, fa, cfg.host_link_rate_bps,
-            cfg.host_propagation_ns, name=f"{host.name}->{fa.name}",
-        )
-        to_host = Link(
-            self.sim, fa, host, cfg.host_link_rate_bps,
-            cfg.host_propagation_ns, name=f"{fa.name}->{host.name}",
-        )
-        host.attach_port(to_fabric)
-        fa.add_host_port(to_host)
-        self._host_sinks[address] = host
-        return to_fabric, to_host
-
-    def host_at(self, address: PortAddress) -> Entity:
-        """The host entity attached at ``address``."""
-        return self._host_sinks[address]
-
-    @property
-    def host_count(self) -> int:
-        """Number of attached hosts."""
-        return len(self._host_sinks)
-
-    # ------------------------------------------------------------------
-    # Running & metrics
-    # ------------------------------------------------------------------
-    def run(self, duration_ns: int) -> None:
-        """Advance the simulation by ``duration_ns``."""
-        self.sim.run_for(duration_ns)
-
-    def stop(self) -> None:
-        """Stop all periodic device tasks (teardown)."""
-        for fa in self.fas:
-            fa.stop()
-        for fe in self.fes:
-            fe.stop()
-
-    def cell_latency(self) -> Histogram:
-        """Merged fabric-traversal latency histogram (ns)."""
-        merged = Histogram("fabric.cell_latency_ns")
-        for fa in self.fas:
-            merged.extend(fa.cell_latency.samples)
-        return merged
-
-    def packet_latency(self) -> Histogram:
-        """Merged host-to-host packet latency histogram (ns)."""
-        merged = Histogram("fabric.packet_latency_ns")
-        for fa in self.fas:
-            merged.extend(fa.packet_latency.samples)
-        return merged
-
-    def fabric_queue_depth(self) -> Histogram:
-        """Queue depths (cells) seen at last-stage down-links (Fig 9)."""
-        merged = Histogram("fabric.down_queue_cells")
-        for fe in self.fes:
-            merged.extend(fe.down_queue_depth.samples)
-        return merged
-
-    def fabric_cell_drops(self) -> int:
-        """Cells lost inside the fabric (must be zero: lossless, §5.5)."""
-        return sum(fe.no_route_drops for fe in self.fes)
-
-    def ingress_drops(self) -> int:
-        """Packets dropped at Fabric Adapter ingress buffers."""
-        return sum(fa.ingress_drops for fa in self.fas)
-
-    def total_delivered_bytes(self) -> int:
-        """Bytes delivered to hosts across all egress ports."""
-        return sum(
-            port.delivered.total_bytes
-            for fa in self.fas
-            for port in fa.egress_ports
-        )
+__all__ = [
+    "OneTierSpec",
+    "StardustNetwork",
+    "ThreeTierSpec",
+    "TwoTierSpec",
+]

@@ -21,7 +21,8 @@ from typing import Optional
 
 from repro.core.config import StardustConfig
 from repro.core.fabric_adapter import FabricAdapter
-from repro.core.network import OneTierSpec, StardustNetwork
+from repro.fabrics.stardust import StardustNetwork
+from repro.fabrics.wiring import OneTierSpec
 from repro.sim.units import KB, MB
 
 

@@ -24,6 +24,7 @@ from repro.experiments.registry import (
     get_scenario,
     scenario_names,
 )
+from repro.fabrics.registry import UnknownFabricError, fabric_names, get_fabric
 from repro.experiments.runner import run_matrix
 from repro.experiments.spec import ScenarioSpec
 from repro.experiments.store import ResultStore
@@ -63,9 +64,15 @@ def _build_matrix(args) -> List[ScenarioSpec]:
 
 
 def cmd_list(_args) -> int:
+    print("scenarios:")
     for name in scenario_names():
         entry = get_scenario(name)
-        print(f"{name:<16} {entry.description}")
+        print(f"  {name:<24} {entry.description}")
+    print("\nfabrics:")
+    for name in fabric_names():
+        entry = get_fabric(name)
+        aliases = f" (alias: {', '.join(entry.aliases)})" if entry.aliases else ""
+        print(f"  {name:<24} {entry.description}{aliases}")
     return 0
 
 
@@ -159,9 +166,11 @@ def main(argv=None) -> int:
     ]
     try:
         return handler(args)
-    except (UnknownScenarioError, ValueError, TypeError) as exc:
-        # Bad scenario names, kinds, parameters or config overrides all
-        # surface here as one-line errors rather than tracebacks.
+    except (
+        UnknownScenarioError, UnknownFabricError, ValueError, TypeError
+    ) as exc:
+        # Bad scenario names, fabrics, kinds, parameters or config
+        # overrides all surface here as one-line errors, not tracebacks.
         print(f"error: {exc}", file=sys.stderr)
         return 2
 

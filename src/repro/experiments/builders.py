@@ -1,20 +1,23 @@
 """Materialize networks from declarative specs.
 
+:func:`build_network` resolves the spec's fabric through the
+:mod:`repro.fabrics.registry` — an unknown fabric name fails with the
+registry's known-names error, and a third fabric registered with
+``@fabric("name")`` is immediately buildable from specs without any
+change here.  ``benchmarks/harness.py`` delegates here so the benchmark
+suite and the experiment runner build byte-identical fabrics.
+
 The two helper constructors (:func:`stardust_network`,
-:func:`push_network`) are the single place fabric construction happens
-for experiments; ``benchmarks/harness.py`` delegates here so the
-benchmark suite and the experiment runner build byte-identical fabrics.
+:func:`push_network`) are thin deprecation shims over the fabric
+classes' own :meth:`~repro.fabrics.base.FabricNetwork.for_experiment`
+constructors.
 """
 
 from __future__ import annotations
 
 from typing import Optional
 
-from repro.baselines.ethernet import EthConfig
-from repro.baselines.push_fabric import PushFabricNetwork
-from repro.core.config import StardustConfig
-from repro.core.network import StardustNetwork
-from repro.experiments.spec import ScenarioSpec
+from repro.fabrics.registry import get_fabric
 from repro.sim.units import gbps
 
 
@@ -24,42 +27,28 @@ def stardust_network(
     cell_bytes: int = 512,
     cell_header_bytes: int = 16,
     **overrides,
-) -> StardustNetwork:
-    """A Stardust fabric at benchmark scale.
-
-    512B cells / 4KB credits follow the paper's own htsim shortcut
-    ("intended to reduce simulation time", Appendix G).
-    """
-    kwargs = dict(
-        fabric_link_rate_bps=rate,
-        host_link_rate_bps=rate,
-        cell_size_bytes=cell_bytes,
-        cell_header_bytes=cell_header_bytes,
-    )
-    kwargs.update(overrides)  # explicit overrides win, even for cells
-    return StardustNetwork(topology, config=StardustConfig(**kwargs))
-
-
-def push_network(
-    topology, rate: int = gbps(10), **eth_overrides
-) -> PushFabricNetwork:
-    """The Ethernet ECMP fabric on the same topology."""
-    config = EthConfig(**eth_overrides) if eth_overrides else EthConfig()
-    return PushFabricNetwork(
-        topology, config=config,
-        fabric_link_rate_bps=rate, host_link_rate_bps=rate,
+):
+    """Deprecated shim for ``StardustNetwork.for_experiment``."""
+    return get_fabric("stardust").cls.for_experiment(
+        topology, rate=rate, cell_bytes=cell_bytes,
+        cell_header_bytes=cell_header_bytes, **overrides,
     )
 
 
-def build_network(spec: ScenarioSpec, topology: Optional[object] = None):
+def push_network(topology, rate: int = gbps(10), **eth_overrides):
+    """Deprecated shim for ``PushFabricNetwork.for_experiment``."""
+    return get_fabric("push").cls.for_experiment(
+        topology, rate=rate, **eth_overrides
+    )
+
+
+def build_network(spec, topology: Optional[object] = None):
     """Build the network a :class:`ScenarioSpec` declares.
 
     ``topology`` lets callers reuse an already-materialized topology
     dataclass; by default it is built from ``spec.topology``.
     """
     topo = topology if topology is not None else spec.topology.build()
-    if spec.fabric == "stardust":
-        return stardust_network(
-            topo, rate=spec.link_rate_bps, **spec.config_overrides
-        )
-    return push_network(topo, rate=spec.link_rate_bps, **spec.config_overrides)
+    return get_fabric(spec.fabric).cls.for_experiment(
+        topo, rate=spec.link_rate_bps, **spec.config_overrides
+    )

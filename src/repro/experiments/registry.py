@@ -127,6 +127,32 @@ def permutation(
     )
 
 
+#: A compact three-tier fabric (§5.1: every added tier multiplies
+#: reach by the radix) — small enough for smoke benchmarks, deep
+#: enough that cross-pod traffic crosses the global spine row.
+THREE_TIER_TOPOLOGY = TopologySpec(
+    "three_tier",
+    dict(
+        pods=2, fas_per_pod=2, fes1_per_pod=2, fes2_per_pod=2,
+        spines=2, hosts_per_fa=2,
+    ),
+)
+
+
+@scenario(
+    "permutation_three_tier",
+    "permutation throughput on a three-tier fabric (any registered fabric)",
+)
+def permutation_three_tier(
+    kind: str = "stardust",
+    seed: int = 7,
+    topology: TopologySpec = THREE_TIER_TOPOLOGY,
+    **params,
+) -> ScenarioSpec:
+    spec = permutation(kind=kind, seed=seed, topology=topology, **params)
+    return spec.with_updates(scenario="permutation_three_tier")
+
+
 @scenario("incast", "all backends answer one frontend at the same instant")
 def incast(
     kind: str = "stardust",

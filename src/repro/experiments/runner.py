@@ -11,6 +11,10 @@ platform cannot fork/spawn workers).
 Because every run is hermetic, the same spec produces bit-identical
 results in-process, in a worker process, and across repeated sweeps —
 which is what makes the content-hash cache sound.
+
+Fabric accounting comes from the unified
+:meth:`~repro.fabrics.base.FabricNetwork.collect_metrics` surface —
+the executors never sniff which fabric they were handed.
 """
 
 from __future__ import annotations
@@ -111,25 +115,6 @@ def _start_single_flow(hosts, flow: Flow, spec: ScenarioSpec) -> None:
     host.start_flow(flow, start_delay_ns=flow.start_ns, **kwargs)
 
 
-def _network_drops(net) -> int:
-    """Loss inside the network, whichever fabric this is."""
-    if hasattr(net, "total_drops"):
-        return net.total_drops()
-    return net.fabric_cell_drops() + net.ingress_drops()
-
-
-def _queue_metrics(net) -> Dict[str, float]:
-    """Fabric queue-depth summary (cells for Stardust, bytes for push)."""
-    hist = net.fabric_queue_depth()
-    if hist.count == 0:
-        return {}
-    unit = "bytes" if hasattr(net, "total_drops") else "cells"
-    return {
-        f"queue_mean_{unit}": hist.mean(),
-        f"queue_p99_{unit}": hist.pct(99),
-    }
-
-
 # ----------------------------------------------------------------------
 # Workload executors
 # ----------------------------------------------------------------------
@@ -184,11 +169,12 @@ def _run_permutation(spec: ScenarioSpec, net) -> RunResult:
         tracker.get(f.flow_id).bytes_delivered - marks[f.flow_id]
         for f in flows
     )
+    fabric_metrics = net.collect_metrics()
     metrics = {
         "mean_gbps": sum(rates) / len(rates),
         "min_gbps": rates[0],
         "max_gbps": rates[-1],
-        **_queue_metrics(net),
+        **fabric_metrics.queue_summary(),
     }
     return RunResult(
         spec_hash=spec.content_hash(),
@@ -198,7 +184,7 @@ def _run_permutation(spec: ScenarioSpec, net) -> RunResult:
         seed=spec.seed,
         flow_rates_gbps=rates,
         delivered_bytes=delivered,
-        drops=_network_drops(net),
+        drops=fabric_metrics.total_drops,
         sim_time_ns=net.sim.now,
         metrics=metrics,
     )
@@ -221,11 +207,19 @@ def _run_incast(spec: ScenarioSpec, net) -> RunResult:
     if spec.transport == "dcqcn":
         def receiver_factory(host, flow):
             return DcqcnNotificationPoint(host, flow.flow_id)
+    # run_incast asks for drops once, at end of run; snapshot the full
+    # metrics there so the histogram merge happens exactly once.
+    snapshot = {}
+
+    def _total_drops() -> int:
+        snapshot["end"] = net.collect_metrics()
+        return snapshot["end"].total_drops
+
     result = run_incast(
         net, hosts, tracker, frontend, backends,
         response_bytes=spec.workload.get("response_bytes", 200_000),
         timeout_ns=spec.measure_ns,
-        fabric_drops_fn=lambda: _network_drops(net),
+        fabric_drops_fn=_total_drops,
         receiver_factory=receiver_factory,
         **_sender_kwargs(spec),
     )
@@ -236,7 +230,7 @@ def _run_incast(spec: ScenarioSpec, net) -> RunResult:
         "fairness_spread": result.fairness_spread,
         "completed": result.completed,
         "all_completed": result.all_completed,
-        **_queue_metrics(net),
+        **snapshot["end"].queue_summary(),
     }
     return RunResult(
         spec_hash=spec.content_hash(),
@@ -271,11 +265,12 @@ def _run_many_to_many(spec: ScenarioSpec, net) -> RunResult:
             _start_single_flow(hosts, flow, spec)
             flows.append(flow)
     net.run(spec.measure_ns)
+    fabric_metrics = net.collect_metrics()
     fcts = sorted(tracker.fcts_ns())
     metrics = {
         "offered_flows": len(flows),
         "completed": len(fcts),
-        **_queue_metrics(net),
+        **fabric_metrics.queue_summary(),
     }
     return RunResult(
         spec_hash=spec.content_hash(),
@@ -285,7 +280,7 @@ def _run_many_to_many(spec: ScenarioSpec, net) -> RunResult:
         seed=spec.seed,
         fcts_ns=fcts,
         delivered_bytes=sum(s.bytes_delivered for s in tracker.all()),
-        drops=_network_drops(net),
+        drops=fabric_metrics.total_drops,
         sim_time_ns=net.sim.now,
         metrics=metrics,
     )
@@ -314,11 +309,12 @@ def _run_uniform_random(spec: ScenarioSpec, net) -> RunResult:
     sent = traffic.total_sent() - sent0
     received = traffic.total_received() - recv0
     delivered = sum(i.bytes_received for i in traffic.injectors) - bytes0
+    fabric_metrics = net.collect_metrics()
     metrics = {
         "packets_sent": sent,
         "packets_received": received,
         "delivery_ratio": received / sent if sent else 0.0,
-        **_queue_metrics(net),
+        **fabric_metrics.queue_summary(),
     }
     return RunResult(
         spec_hash=spec.content_hash(),
@@ -327,7 +323,7 @@ def _run_uniform_random(spec: ScenarioSpec, net) -> RunResult:
         transport=spec.transport,
         seed=spec.seed,
         delivered_bytes=delivered,
-        drops=_network_drops(net),
+        drops=fabric_metrics.total_drops,
         sim_time_ns=net.sim.now,
         metrics=metrics,
     )
@@ -377,12 +373,13 @@ def _run_mixed(spec: ScenarioSpec, net) -> RunResult:
             flows.append(flow)
             count += 1
     net.run(horizon_ns)
+    fabric_metrics = net.collect_metrics()
     fcts = sorted(tracker.fcts_ns())
     metrics = {
         "offered_flows": len(flows),
         "completed": len(fcts),
         "hosts_truncated": truncated,
-        **_queue_metrics(net),
+        **fabric_metrics.queue_summary(),
     }
     # FCT split by size class — the paper's short-vs-long flow story.
     small = sorted(
@@ -399,7 +396,7 @@ def _run_mixed(spec: ScenarioSpec, net) -> RunResult:
         seed=spec.seed,
         fcts_ns=fcts,
         delivered_bytes=sum(s.bytes_delivered for s in tracker.all()),
-        drops=_network_drops(net),
+        drops=fabric_metrics.total_drops,
         sim_time_ns=net.sim.now,
         metrics=metrics,
     )

@@ -15,7 +15,8 @@ import json
 from dataclasses import asdict, dataclass, field
 from typing import Any, Dict, Optional, Tuple
 
-from repro.core.network import OneTierSpec, ThreeTierSpec, TwoTierSpec
+from repro.fabrics.registry import get_fabric, known_fabric_names
+from repro.fabrics.wiring import OneTierSpec, ThreeTierSpec, TwoTierSpec
 from repro.sim.units import MILLISECOND, gbps
 
 #: Topology kind -> the concrete spec dataclass it materializes into.
@@ -38,10 +39,17 @@ KIND_PRESETS: Dict[str, Tuple[str, str]] = {
     "dcqcn": ("push", "dcqcn"),
 }
 
-#: Fabric names accepted by :class:`ScenarioSpec` ("ethernet" is an
-#: alias for the pushed Ethernet fabric).
-FABRICS = ("stardust", "push", "ethernet")
 TRANSPORTS = ("tcp", "dctcp", "mptcp", "dcqcn", "none")
+
+
+def __getattr__(name):
+    # Back-compat constant, computed per access so fabrics registered
+    # after this module was imported still show up.  The source of
+    # truth is the fabric registry, which ScenarioSpec validates
+    # against.
+    if name == "FABRICS":
+        return tuple(known_fabric_names())
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 def resolve_kind(kind: str) -> Tuple[str, str]:
@@ -121,10 +129,7 @@ class ScenarioSpec:
     def __post_init__(self) -> None:
         if isinstance(self.topology, dict):
             self.topology = TopologySpec(**self.topology)
-        if self.fabric not in FABRICS:
-            raise ValueError(
-                f"unknown fabric {self.fabric!r}; choose from {FABRICS}"
-            )
+        get_fabric(self.fabric)  # UnknownFabricError lists known names
         if self.transport not in TRANSPORTS:
             raise ValueError(
                 f"unknown transport {self.transport!r}; "

@@ -1,0 +1,202 @@
+"""The fabric contract: :class:`FabricNetwork` + :class:`FabricMetrics`.
+
+Every fabric backend — the Stardust cell fabric, the push/ECMP
+baseline, or a third one dropped in through the registry — satisfies
+the same contract:
+
+* construction from ``(topology_spec, config, sim)``, with the wiring
+  derived from a shared :class:`~repro.fabrics.wiring.WiringPlan`;
+* host attachment (:meth:`FabricNetwork.attach_host` /
+  :meth:`FabricNetwork.host_at`) and run control
+  (:meth:`FabricNetwork.run` / :meth:`FabricNetwork.stop`);
+* one typed metrics surface, :meth:`FabricNetwork.collect_metrics`,
+  returning a :class:`FabricMetrics` with explicit units — no more
+  per-fabric ad-hoc method sets for callers to sniff with ``hasattr``.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import ClassVar, Dict, Optional, Tuple
+
+from repro.fabrics.wiring import WiringPlan, build_wiring_plan
+from repro.net.addressing import PortAddress
+from repro.sim.engine import Simulator
+from repro.sim.entity import Entity
+from repro.sim.link import Link
+from repro.sim.stats import Histogram
+from repro.sim.units import gbps
+
+
+@dataclass
+class FabricMetrics:
+    """Everything a run wants to know about a fabric, with units.
+
+    Histograms may be empty when a fabric does not produce the signal
+    (the push baseline stamps no cells, so ``cell_latency_ns`` stays
+    empty there); counters are always meaningful.
+    """
+
+    #: Registry name of the fabric that produced these metrics.
+    fabric: str
+    #: Fabric-traversal latency of individual cells, in nanoseconds.
+    cell_latency_ns: Histogram
+    #: Host-to-host packet latency, in nanoseconds.
+    packet_latency_ns: Histogram
+    #: Queue depths observed at last-stage fabric down-links.
+    queue_depth: Histogram
+    #: Unit of ``queue_depth`` samples: ``"cells"`` or ``"bytes"``.
+    queue_depth_unit: str
+    #: Loss at the fabric edge (FA ingress buffers / ToR queues).
+    ingress_drops: int
+    #: Loss inside the fabric proper (§5.2's complaint about push;
+    #: must stay zero for Stardust, §5.5).
+    fabric_drops: int
+    #: Bytes handed to hosts across all edge egress ports.
+    delivered_bytes: int
+
+    @property
+    def total_drops(self) -> int:
+        """All loss inside the network, wherever it happened."""
+        return self.ingress_drops + self.fabric_drops
+
+    def queue_summary(self) -> Dict[str, float]:
+        """Mean/p99 queue depth keyed with the unit, or {} if unsampled."""
+        if self.queue_depth.count == 0:
+            return {}
+        unit = self.queue_depth_unit
+        return {
+            f"queue_mean_{unit}": self.queue_depth.mean(),
+            f"queue_p99_{unit}": self.queue_depth.pct(99),
+        }
+
+
+class FabricNetwork(ABC):
+    """A fully wired fabric plus host attachment points.
+
+    Subclasses implement :meth:`_build` (replay the wiring plan with
+    their own device types), the small host-attachment hooks, and
+    :meth:`collect_metrics`.  Registering the class with
+    :func:`~repro.fabrics.registry.fabric` makes it constructible by
+    name from scenario specs.
+    """
+
+    #: Registry name, filled in by the ``@fabric(...)`` decorator.
+    fabric_name: ClassVar[str] = ""
+
+    def __init__(self, spec, config=None, sim: Optional[Simulator] = None):
+        self.spec = spec
+        self.config = config
+        self.sim = sim or Simulator()
+        self.plan: WiringPlan = build_wiring_plan(spec)
+        self._host_sinks: Dict[PortAddress, Entity] = {}
+        self._build(self.plan)
+
+    # ------------------------------------------------------------------
+    # Construction contract
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def _build(self, plan: WiringPlan) -> None:
+        """Create devices and links by replaying ``plan.ops`` in order."""
+
+    @classmethod
+    @abstractmethod
+    def for_experiment(cls, topology, rate: int = gbps(10), sim=None,
+                       **config_overrides) -> "FabricNetwork":
+        """Build this fabric at experiment scale.
+
+        ``rate`` sets both fabric and host link rates;
+        ``config_overrides`` are fields of the fabric's own config
+        dataclass.  This is the constructor scenario specs resolve to.
+        """
+
+    # ------------------------------------------------------------------
+    # Host attachment (shared; subclasses fill in the edge hooks)
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def _edge_device(self, index: int) -> Entity:
+        """The edge device (FA / ToR) with edge id ``index``."""
+
+    @abstractmethod
+    def _host_link(self) -> Tuple[int, int]:
+        """``(rate_bps, propagation_ns)`` for host attachment links."""
+
+    @abstractmethod
+    def _register_host_port(
+        self, device: Entity, to_host: Link, address: PortAddress
+    ) -> None:
+        """Record ``to_host`` as ``device``'s port for ``address``."""
+
+    def _check_host_attach(
+        self, device: Entity, address: PortAddress
+    ) -> None:
+        """Fabric-specific attach validation (default: none)."""
+
+    def _duplex_links(
+        self, lower: Entity, upper: Entity, rate_bps: int,
+        propagation_ns: int,
+    ) -> Tuple[Link, Link]:
+        """The two simplex links of one full-duplex link, named
+        ``lower->upper`` / ``upper->lower`` (up first, then down)."""
+        up = Link(
+            self.sim, lower, upper, rate_bps, propagation_ns,
+            name=f"{lower.name}->{upper.name}",
+        )
+        down = Link(
+            self.sim, upper, lower, rate_bps, propagation_ns,
+            name=f"{upper.name}->{lower.name}",
+        )
+        return up, down
+
+    def attach_host(
+        self, address: PortAddress, host: Entity
+    ) -> Tuple[Link, Link]:
+        """Attach ``host`` at ``address``; returns (to_fabric, to_host).
+
+        The host sends packets on the first returned link; the edge
+        device delivers reassembled packets on the second.
+        """
+        if address in self._host_sinks:
+            raise ValueError(f"host already attached at {address}")
+        device = self._edge_device(address.fa)
+        self._check_host_attach(device, address)
+        rate_bps, propagation_ns = self._host_link()
+        to_fabric, to_host = self._duplex_links(
+            host, device, rate_bps, propagation_ns
+        )
+        host.attach_port(to_fabric)
+        self._register_host_port(device, to_host, address)
+        self._host_sinks[address] = host
+        return to_fabric, to_host
+
+    def host_at(self, address: PortAddress) -> Entity:
+        """The host entity attached at ``address``."""
+        return self._host_sinks[address]
+
+    @property
+    def host_count(self) -> int:
+        """Number of attached hosts."""
+        return len(self._host_sinks)
+
+    # ------------------------------------------------------------------
+    # Running & metrics
+    # ------------------------------------------------------------------
+    def run(self, duration_ns: int) -> None:
+        """Advance the simulation by ``duration_ns``."""
+        self.sim.run_for(duration_ns)
+
+    def stop(self) -> None:
+        """Stop all periodic device tasks (teardown; default: none)."""
+
+    @abstractmethod
+    def collect_metrics(self) -> FabricMetrics:
+        """The fabric's typed metrics snapshot (cumulative since t=0)."""
+
+    def fabric_drop_count(self) -> int:
+        """Loss inside the fabric proper, as a cheap counter read.
+
+        Same value as ``collect_metrics().fabric_drops`` without the
+        histogram merges; subclasses override with a direct sum.
+        """
+        return self.collect_metrics().fabric_drops

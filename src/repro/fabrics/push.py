@@ -1,0 +1,205 @@
+"""The "push" data center fabric: the §5.2 strawman, fully built.
+
+Same topologies as :class:`repro.fabrics.stardust.StardustNetwork`
+(one/two/three-tier, via the shared wiring plan), same link rates and
+propagation — but every node is an autonomous Ethernet packet switch
+that pushes packets toward the destination with ECMP and drops on local
+congestion.  Host experiments run unchanged against either network, so
+Fig 7, Fig 10 and Fig 12 compare mechanism against mechanism.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.baselines.ethernet import EthConfig, EthernetSwitch, EthPort
+from repro.fabrics.base import FabricMetrics, FabricNetwork
+from repro.fabrics.registry import fabric
+from repro.fabrics.wiring import EDGE, EdgeNode, ElementNode, WiringPlan
+from repro.net.addressing import DeviceId, PortAddress
+from repro.sim.engine import Simulator
+from repro.sim.link import Link
+from repro.sim.stats import Histogram
+from repro.sim.units import gbps
+
+#: Fabric switch ids start here so they never collide with ToR ids.
+_FABRIC_ID_BASE = 10_000
+
+
+@fabric(
+    "push",
+    description="Ethernet ECMP strawman: push packets, drop on congestion",
+    aliases=("ethernet",),
+)
+class PushFabricNetwork(FabricNetwork):
+    """Ethernet-switch fabric mirroring a Stardust topology."""
+
+    def __init__(
+        self,
+        spec,
+        config: Optional[EthConfig] = None,
+        sim: Optional[Simulator] = None,
+        fabric_link_rate_bps: int = gbps(50),
+        host_link_rate_bps: int = gbps(50),
+        fabric_propagation_ns: int = 100,
+        host_propagation_ns: int = 50,
+    ) -> None:
+        self.fabric_link_rate_bps = fabric_link_rate_bps
+        self.host_link_rate_bps = host_link_rate_bps
+        self.fabric_propagation_ns = fabric_propagation_ns
+        self.host_propagation_ns = host_propagation_ns
+        self.tors: List[EthernetSwitch] = []
+        self.fabric: List[EthernetSwitch] = []
+        self._switch_by_element: Dict[int, EthernetSwitch] = {}
+        super().__init__(spec, config=config or EthConfig(), sim=sim)
+
+    @classmethod
+    def for_experiment(
+        cls,
+        topology,
+        rate: int = gbps(10),
+        sim: Optional[Simulator] = None,
+        **eth_overrides,
+    ) -> "PushFabricNetwork":
+        """The Ethernet ECMP fabric on the same topology."""
+        config = EthConfig(**eth_overrides) if eth_overrides else EthConfig()
+        return cls(
+            topology, config=config, sim=sim,
+            fabric_link_rate_bps=rate, host_link_rate_bps=rate,
+        )
+
+    # ------------------------------------------------------------------
+    # Topology construction (plan replay)
+    # ------------------------------------------------------------------
+    def _build(self, plan: WiringPlan) -> None:
+        for op in plan.ops:
+            if isinstance(op, EdgeNode):
+                self.tors.append(
+                    self._new_switch(op.edge_id, f"tor{op.edge_id}", 0)
+                )
+            elif isinstance(op, ElementNode):
+                self._new_fabric_switch(plan, op)
+            else:
+                lower = (
+                    self.tors[op.lower[1]]
+                    if op.lower[0] == EDGE
+                    else self._switch_by_element[op.lower[1]]
+                )
+                self._connect(lower, self._switch_by_element[op.upper[1]])
+        self._install_routes(plan)
+
+    def _new_switch(self, sid: int, name: str, tier: int) -> EthernetSwitch:
+        return EthernetSwitch(self.sim, self.config, sid, name, tier=tier)
+
+    def _new_fabric_switch(self, plan: WiringPlan, node: ElementNode) -> None:
+        # Two-plus-tier fabrics name their top row "spine"; a one-tier
+        # fabric's single row keeps the historical "agg" name.
+        role = "spine" if plan.tiers > 1 and node.tier == plan.tiers else "agg"
+        sw = self._new_switch(
+            _FABRIC_ID_BASE + node.element_id,
+            f"{role}{node.element_id}",
+            node.tier,
+        )
+        sw.sample_queues = node.sample_queues
+        self.fabric.append(sw)
+        self._switch_by_element[node.element_id] = sw
+
+    def _connect(self, lower: EthernetSwitch, upper: EthernetSwitch) -> None:
+        """Full-duplex fabric link between two switches."""
+        up, down = self._duplex_links(
+            lower, upper, self.fabric_link_rate_bps,
+            self.fabric_propagation_ns,
+        )
+        lower.add_port(up, "up", neighbor=upper.switch_id)
+        upper.add_port(down, "down", neighbor=lower.switch_id)
+
+    def _install_routes(self, plan: WiringPlan) -> None:
+        """Install down-routes from the plan's route descriptions.
+
+        An element reaches an edge through every down port whose
+        neighbor is named in the route's via-set; destinations without
+        a down route fall back to the up ports at forwarding time
+        (:meth:`EthernetSwitch._route`), so the plan's
+        ``up_reaches_everything`` flag needs no explicit state here.
+        """
+        for node in plan.elements:
+            sw = self._switch_by_element[node.element_id]
+            by_neighbor: Dict[DeviceId, List[EthPort]] = {}
+            for port in sw.eth_ports:
+                if port.direction == "down":
+                    by_neighbor.setdefault(port.neighbor, []).append(port)
+            for edge_id, vias in plan.routes[node.element_id].down:
+                for kind, neighbor_id in vias:
+                    sid = (
+                        neighbor_id if kind == EDGE
+                        else _FABRIC_ID_BASE + neighbor_id
+                    )
+                    for port in by_neighbor[sid]:
+                        sw.add_down_route(edge_id, port)
+
+    # ------------------------------------------------------------------
+    # Hosts
+    # ------------------------------------------------------------------
+    def _edge_device(self, index: int) -> EthernetSwitch:
+        return self.tors[index]
+
+    def _host_link(self):
+        return self.host_link_rate_bps, self.host_propagation_ns
+
+    def _register_host_port(
+        self, tor: EthernetSwitch, to_host: Link, address: PortAddress
+    ) -> None:
+        tor.add_port(to_host, "host", host_port_index=address.port)
+
+    # ------------------------------------------------------------------
+    # Metrics
+    # ------------------------------------------------------------------
+    def collect_metrics(self) -> FabricMetrics:
+        """The unified metrics snapshot (queue depths are in bytes).
+
+        The push fabric stamps no cells, so the latency histograms stay
+        empty — flow completion times live with the transport trackers.
+        """
+        return FabricMetrics(
+            fabric=self.fabric_name,
+            cell_latency_ns=Histogram("push.cell_latency_ns"),
+            packet_latency_ns=Histogram("push.packet_latency_ns"),
+            queue_depth=self.fabric_queue_depth(),
+            queue_depth_unit="bytes",
+            ingress_drops=self.edge_drops(),
+            fabric_drops=self.fabric_drops(),
+            delivered_bytes=self.total_delivered_bytes(),
+        )
+
+    def total_drops(self) -> int:
+        """Packets dropped inside the network (ToRs + fabric)."""
+        return self.edge_drops() + self.fabric_drops()
+
+    def edge_drops(self) -> int:
+        """Packets dropped at ToR (edge) queues."""
+        return sum(s.dropped for s in self.tors)
+
+    def fabric_drops(self) -> int:
+        """Packets dropped in the fabric proper (§5.2's complaint)."""
+        return sum(s.dropped for s in self.fabric)
+
+    def fabric_drop_count(self) -> int:
+        """Cheap counter read of in-fabric loss (no histogram merges)."""
+        return self.fabric_drops()
+
+    def fabric_queue_depth(self) -> Histogram:
+        """Merged queue-depth samples from fabric switches (bytes)."""
+        merged = Histogram("push.queue_bytes")
+        for sw in self.fabric:
+            merged.extend(sw.queue_depth.samples)
+        return merged
+
+    def total_delivered_bytes(self) -> int:
+        """Payload bytes handed to hosts across all ToR host ports.
+
+        Counted in payload bytes (not wire bytes), matching the
+        Stardust fabric's accounting so cross-fabric
+        ``FabricMetrics.delivered_bytes`` comparisons are
+        apples-to-apples.
+        """
+        return sum(tor.delivered_host_bytes for tor in self.tors)

@@ -1,0 +1,268 @@
+"""The Stardust cell fabric as a registered fabric backend.
+
+Wires Fabric Adapters and Fabric Elements by replaying the shared
+:class:`~repro.fabrics.wiring.WiringPlan`, so one/two/three-tier
+construction has no per-tier special cases here; static forwarding
+tables are installed straight from the plan's route descriptions.
+``reachability='static'`` installs those tables directly; ``'dynamic'``
+runs the live protocol so failure experiments can watch the fabric
+heal itself.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.config import StardustConfig
+from repro.core.control import ControlPlane
+from repro.core.fabric_adapter import FabricAdapter
+from repro.core.fabric_element import FabricElement, FabricPort
+from repro.fabrics.base import FabricMetrics, FabricNetwork
+from repro.fabrics.registry import fabric
+from repro.fabrics.wiring import EDGE, EdgeNode, ElementNode, WiringPlan
+from repro.net.addressing import DeviceId, PortAddress
+from repro.sim.engine import Simulator
+from repro.sim.link import Link
+from repro.sim.stats import Histogram
+from repro.sim.units import gbps
+
+
+@fabric(
+    "stardust",
+    description="the paper's pull fabric: cells, credits, spray (lossless)",
+)
+class StardustNetwork(FabricNetwork):
+    """A fully wired Stardust fabric plus host attachment points."""
+
+    def __init__(
+        self,
+        spec,
+        config: Optional[StardustConfig] = None,
+        sim: Optional[Simulator] = None,
+        reachability: str = "static",
+        spray_mode: str = "permutation",
+    ) -> None:
+        if reachability not in ("static", "dynamic"):
+            raise ValueError(f"unknown reachability mode {reachability!r}")
+        self.reachability = reachability
+        self._spray_mode = spray_mode
+        self.fas: List[FabricAdapter] = []
+        self.fes: List[FabricElement] = []
+        self._fes_by_id: Dict[DeviceId, FabricElement] = {}
+        super().__init__(spec, config=config or StardustConfig(), sim=sim)
+
+    @classmethod
+    def for_experiment(
+        cls,
+        topology,
+        rate: int = gbps(10),
+        cell_bytes: int = 512,
+        cell_header_bytes: int = 16,
+        sim: Optional[Simulator] = None,
+        **overrides,
+    ) -> "StardustNetwork":
+        """A Stardust fabric at benchmark scale.
+
+        512B cells / 4KB credits follow the paper's own htsim shortcut
+        ("intended to reduce simulation time", Appendix G).
+        """
+        kwargs = dict(
+            fabric_link_rate_bps=rate,
+            host_link_rate_bps=rate,
+            cell_size_bytes=cell_bytes,
+            cell_header_bytes=cell_header_bytes,
+        )
+        kwargs.update(overrides)  # explicit overrides win, even for cells
+        return cls(topology, config=StardustConfig(**kwargs), sim=sim)
+
+    # ------------------------------------------------------------------
+    # Topology construction (plan replay)
+    # ------------------------------------------------------------------
+    def _build(self, plan: WiringPlan) -> None:
+        self.control = ControlPlane(self.sim, self._control_delay)
+        for op in plan.ops:
+            if isinstance(op, EdgeNode):
+                self._new_fa(op)
+            elif isinstance(op, ElementNode):
+                self._new_fe(op)
+            elif op.lower[0] == EDGE:
+                self._connect_fa_fe(
+                    self.fas[op.lower[1]], self._fes_by_id[op.upper[1]]
+                )
+            else:
+                self._connect_fe_fe(
+                    self._fes_by_id[op.lower[1]], self._fes_by_id[op.upper[1]]
+                )
+        if self.reachability == "dynamic":
+            for fa in self.fas:
+                fa.enable_protocol()
+            for fe in self.fes:
+                fe.enable_protocol()
+        else:
+            self._install_static_routes(plan)
+            for fa in self.fas:
+                fa.set_static_reachability()
+
+    def _control_delay(self, src: DeviceId, dst: DeviceId) -> int:
+        cfg = self.config
+        if src == dst:
+            return cfg.control_hop_ns
+        hops = 2 * self.plan.tiers
+        return hops * (cfg.control_hop_ns + cfg.fabric_propagation_ns)
+
+    def _new_fa(self, node: EdgeNode) -> None:
+        fa = FabricAdapter(
+            self.sim,
+            self.config,
+            node.edge_id,
+            f"fa{node.edge_id}",
+            self.control,
+            spray_mode=self._spray_mode,
+        )
+        self.fas.append(fa)
+
+    def _new_fe(self, node: ElementNode) -> None:
+        fe = FabricElement(
+            self.sim,
+            self.config,
+            node.element_id,
+            node.tier,
+            f"fe{node.tier}.{node.element_id}",
+            spray_mode=self._spray_mode,
+        )
+        fe.sample_down_queues = node.sample_queues
+        if node.pod is not None:
+            fe.pod = node.pod  # type: ignore[attr-defined]
+        self.fes.append(fe)
+        self._fes_by_id[node.element_id] = fe
+
+    def _connect_fa_fe(self, fa: FabricAdapter, fe: FabricElement) -> None:
+        cfg = self.config
+        up, down = self._duplex_links(
+            fa, fe, cfg.fabric_link_rate_bps, cfg.fabric_propagation_ns
+        )
+        fa.add_uplink(up, down)
+        fe.add_port(fa.fa_id, down, up, direction="down")
+
+    def _connect_fe_fe(self, lower: FabricElement, upper: FabricElement) -> None:
+        cfg = self.config
+        up, down = self._duplex_links(
+            lower, upper, cfg.fabric_link_rate_bps, cfg.fabric_propagation_ns
+        )
+        lower.add_port(upper.fe_id, up, down, direction="up")
+        upper.add_port(lower.fe_id, down, up, direction="down")
+
+    def _install_static_routes(self, plan: WiringPlan) -> None:
+        """Turn the plan's route descriptions into forwarding tables.
+
+        Ports are indexed by neighbor once per element — O(ports), not
+        the O(elements x ports) neighbor scans the per-tier builders
+        used to do.
+        """
+        for node in plan.elements:
+            fe = self._fes_by_id[node.element_id]
+            routes = plan.routes[node.element_id]
+            by_neighbor: Dict[DeviceId, List[FabricPort]] = {}
+            for port in fe.down_ports:
+                by_neighbor.setdefault(port.neighbor, []).append(port)
+            # Edges of one pod share a via-set; expand each set once and
+            # share the list (set_static_reachability copies per entry).
+            expanded: Dict[tuple, List[FabricPort]] = {}
+            down_map: Dict[DeviceId, List[FabricPort]] = {}
+            for edge_id, vias in routes.down:
+                ports = expanded.get(vias)
+                if ports is None:
+                    ports = []
+                    for _kind, neighbor_id in vias:
+                        ports.extend(by_neighbor[neighbor_id])
+                    expanded[vias] = ports
+                down_map[edge_id] = ports
+            fe.set_static_reachability(
+                down_map,
+                up_reaches_everything=routes.up_reaches_everything,
+            )
+
+    # ------------------------------------------------------------------
+    # Hosts
+    # ------------------------------------------------------------------
+    def _edge_device(self, index: int) -> FabricAdapter:
+        return self.fas[index]
+
+    def _host_link(self):
+        return self.config.host_link_rate_bps, self.config.host_propagation_ns
+
+    def _check_host_attach(self, fa: FabricAdapter, address: PortAddress) -> None:
+        if address.port != len(fa.egress_ports):
+            raise ValueError(
+                f"attach ports in order: expected port "
+                f"{len(fa.egress_ports)}, got {address.port}"
+            )
+
+    def _register_host_port(
+        self, fa: FabricAdapter, to_host: Link, address: PortAddress
+    ) -> None:
+        fa.add_host_port(to_host)
+
+    # ------------------------------------------------------------------
+    # Running & metrics
+    # ------------------------------------------------------------------
+    def stop(self) -> None:
+        """Stop all periodic device tasks (teardown)."""
+        for fa in self.fas:
+            fa.stop()
+        for fe in self.fes:
+            fe.stop()
+
+    def collect_metrics(self) -> FabricMetrics:
+        """The unified metrics snapshot (queue depths are in cells)."""
+        return FabricMetrics(
+            fabric=self.fabric_name,
+            cell_latency_ns=self.cell_latency(),
+            packet_latency_ns=self.packet_latency(),
+            queue_depth=self.fabric_queue_depth(),
+            queue_depth_unit="cells",
+            ingress_drops=self.ingress_drops(),
+            fabric_drops=self.fabric_cell_drops(),
+            delivered_bytes=self.total_delivered_bytes(),
+        )
+
+    def cell_latency(self) -> Histogram:
+        """Merged fabric-traversal latency histogram (ns)."""
+        merged = Histogram("fabric.cell_latency_ns")
+        for fa in self.fas:
+            merged.extend(fa.cell_latency.samples)
+        return merged
+
+    def packet_latency(self) -> Histogram:
+        """Merged host-to-host packet latency histogram (ns)."""
+        merged = Histogram("fabric.packet_latency_ns")
+        for fa in self.fas:
+            merged.extend(fa.packet_latency.samples)
+        return merged
+
+    def fabric_queue_depth(self) -> Histogram:
+        """Queue depths (cells) seen at last-stage down-links (Fig 9)."""
+        merged = Histogram("fabric.down_queue_cells")
+        for fe in self.fes:
+            merged.extend(fe.down_queue_depth.samples)
+        return merged
+
+    def fabric_cell_drops(self) -> int:
+        """Cells lost inside the fabric (must be zero: lossless, §5.5)."""
+        return sum(fe.no_route_drops for fe in self.fes)
+
+    def fabric_drop_count(self) -> int:
+        """Cheap counter read of in-fabric loss (no histogram merges)."""
+        return self.fabric_cell_drops()
+
+    def ingress_drops(self) -> int:
+        """Packets dropped at Fabric Adapter ingress buffers."""
+        return sum(fa.ingress_drops for fa in self.fas)
+
+    def total_delivered_bytes(self) -> int:
+        """Bytes delivered to hosts across all egress ports."""
+        return sum(
+            port.delivered.total_bytes
+            for fa in self.fas
+            for port in fa.egress_ports
+        )

@@ -85,10 +85,8 @@ def run_incast(
     )
     if fabric_drops_fn is not None:
         drops = fabric_drops_fn()
-    elif hasattr(network, "fabric_cell_drops"):
-        drops = network.fabric_cell_drops()
     else:
-        drops = network.fabric_drops()
+        drops = network.fabric_drop_count()
     return IncastResult(
         n_backends=len(backends),
         response_bytes=response_bytes,

@@ -139,6 +139,32 @@ class TestRegistry:
 
 
 # ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+
+
+class TestCli:
+    def test_list_shows_scenarios_and_registered_fabrics(self, capsys):
+        from repro.experiments.__main__ import main
+
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "permutation_three_tier" in out
+        assert "fabrics:" in out
+        assert "stardust" in out
+        assert "push" in out
+        assert "ethernet" in out  # alias is surfaced too
+
+    def test_bad_names_exit_with_one_line_error(self, capsys):
+        from repro.experiments.__main__ import main
+
+        assert main(["show", "no-such-scenario"]) == 2
+        assert "unknown scenario" in capsys.readouterr().err
+        assert main(["show", "permutation", "--kind", "warp-drive"]) == 2
+        assert "unknown kind" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
 # Runner
 # ----------------------------------------------------------------------
 

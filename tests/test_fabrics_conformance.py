@@ -1,0 +1,199 @@
+"""Conformance suite for the fabric contract (repro.fabrics).
+
+Every registered fabric runs through the same topology x workload
+matrix and must satisfy the same contract: build through the registry,
+attach hosts, run, and report a well-formed
+:class:`~repro.fabrics.base.FabricMetrics`.  Stardust additionally
+must stay lossless inside the fabric, and every fabric must be
+deterministic in-process (hermetic runs of the same spec are
+bit-identical).
+"""
+
+from __future__ import annotations
+
+import inspect
+
+import pytest
+
+from repro.experiments.runner import run_spec
+from repro.experiments.spec import ScenarioSpec, TopologySpec
+from repro.fabrics import (
+    FabricMetrics,
+    FabricNetwork,
+    PushFabricNetwork,
+    StardustNetwork,
+    UnknownFabricError,
+    build_fabric,
+    fabric_names,
+    get_fabric,
+)
+from repro.sim.stats import Histogram
+
+TOPOLOGIES = {
+    "one_tier": TopologySpec(
+        "one_tier", dict(num_fas=4, uplinks_per_fa=4, hosts_per_fa=2)
+    ),
+    "two_tier": TopologySpec(
+        "two_tier",
+        dict(pods=2, fas_per_pod=2, fes_per_pod=2, spines=2, hosts_per_fa=2),
+    ),
+    "three_tier": TopologySpec(
+        "three_tier",
+        dict(
+            pods=2, fas_per_pod=2, fes1_per_pod=2, fes2_per_pod=2,
+            spines=2, hosts_per_fa=1,
+        ),
+    ),
+}
+
+WORKLOADS = {
+    "permutation": {"kind": "permutation"},
+    "uniform_random": {"kind": "uniform_random", "utilization": 0.5,
+                       "packet_bytes": 1000},
+}
+
+
+def _spec(fabric: str, topo_name: str, workload_name: str) -> ScenarioSpec:
+    return ScenarioSpec(
+        scenario=f"conformance-{topo_name}-{workload_name}",
+        topology=TOPOLOGIES[topo_name],
+        fabric=fabric,
+        transport="tcp" if workload_name == "permutation" else "none",
+        workload=WORKLOADS[workload_name],
+        seed=3,
+        warmup_ns=50_000,
+        measure_ns=150_000,
+    )
+
+
+def _assert_metrics_schema(metrics: FabricMetrics, fabric: str) -> None:
+    assert metrics.fabric == get_fabric(fabric).name
+    assert isinstance(metrics.cell_latency_ns, Histogram)
+    assert isinstance(metrics.packet_latency_ns, Histogram)
+    assert isinstance(metrics.queue_depth, Histogram)
+    assert metrics.queue_depth_unit in ("cells", "bytes")
+    assert isinstance(metrics.ingress_drops, int) and metrics.ingress_drops >= 0
+    assert isinstance(metrics.fabric_drops, int) and metrics.fabric_drops >= 0
+    assert isinstance(metrics.delivered_bytes, int)
+    assert metrics.total_drops == metrics.ingress_drops + metrics.fabric_drops
+    summary = metrics.queue_summary()
+    if metrics.queue_depth.count:
+        unit = metrics.queue_depth_unit
+        assert set(summary) == {f"queue_mean_{unit}", f"queue_p99_{unit}"}
+    else:
+        assert summary == {}
+
+
+class TestRegistry:
+    def test_both_fabrics_registered(self):
+        assert fabric_names() == ["push", "stardust"]
+        assert get_fabric("stardust").cls is StardustNetwork
+        assert get_fabric("push").cls is PushFabricNetwork
+
+    def test_alias_resolves_to_canonical_entry(self):
+        assert get_fabric("ethernet") is get_fabric("push")
+
+    def test_unknown_name_lists_known(self):
+        with pytest.raises(UnknownFabricError) as excinfo:
+            get_fabric("infiniband")
+        message = str(excinfo.value)
+        assert "infiniband" in message
+        assert "stardust" in message and "push" in message
+
+    @pytest.mark.parametrize("name", ["stardust", "push", "ethernet"])
+    def test_instantiates_through_registry(self, name):
+        net = build_fabric(name, TOPOLOGIES["two_tier"].build())
+        assert isinstance(net, FabricNetwork)
+        assert net.plan.tiers == 2
+        _assert_metrics_schema(net.collect_metrics(), name)
+
+    def test_register_without_docstring_gets_empty_description(self):
+        from repro.fabrics import registry as fabric_registry
+
+        @fabric_registry.fabric("tmp-nodoc")
+        class NoDoc:
+            pass
+
+        try:
+            entry = fabric_registry.get_fabric("tmp-nodoc")
+            assert entry.cls is NoDoc
+            assert entry.description == ""
+        finally:
+            del fabric_registry._REGISTRY["tmp-nodoc"]
+
+    def test_runner_has_no_fabric_sniffing(self):
+        # The acceptance criterion in ISSUE 2: executors must use the
+        # typed metrics surface, never duck-type the fabric.
+        from repro.experiments import runner
+
+        assert "hasattr" not in inspect.getsource(runner)
+
+
+class TestConformanceMatrix:
+    @pytest.mark.parametrize("workload", sorted(WORKLOADS))
+    @pytest.mark.parametrize("topo", sorted(TOPOLOGIES))
+    @pytest.mark.parametrize("fabric", fabric_names())
+    def test_fabric_runs_and_reports(self, fabric, topo, workload):
+        spec = _spec(fabric, topo, workload)
+        result = run_spec(spec)  # hermetic: resets flow ids first
+        assert result.delivered_bytes > 0
+        assert result.sim_time_ns == spec.warmup_ns + spec.measure_ns
+
+        # Build the same fabric directly and check the metrics schema.
+        net = build_fabric(fabric, spec.topology.build())
+        _assert_metrics_schema(net.collect_metrics(), fabric)
+
+    @pytest.mark.parametrize("topo", sorted(TOPOLOGIES))
+    @pytest.mark.parametrize("fabric", fabric_names())
+    def test_in_process_determinism(self, fabric, topo):
+        spec = _spec(fabric, topo, "permutation")
+        first = run_spec(spec).to_dict()
+        second = run_spec(spec).to_dict()
+        assert first == second
+
+    def test_push_delivered_bytes_counts_payload(self):
+        # delivered_bytes must be payload handed to hosts (Stardust
+        # semantics), not wire bytes — cross-fabric comparisons depend
+        # on the two fabrics agreeing on the unit.
+        from repro.net.addressing import PortAddress
+        from tests.conftest import RecordingHost
+
+        net = build_fabric("push", TOPOLOGIES["one_tier"].build())
+        hosts = {}
+        for fa in range(4):
+            for port in range(2):
+                addr = PortAddress(fa, port)
+                host = RecordingHost(net.sim, f"h{fa}.{port}", addr)
+                net.attach_host(addr, host)
+                hosts[addr] = host
+        hosts[PortAddress(0, 0)].send_to(PortAddress(2, 1), 3000)
+        net.run(1_000_000)
+        assert len(hosts[PortAddress(2, 1)].received) == 1
+        assert net.collect_metrics().delivered_bytes == 3000
+        assert net.fabric_drop_count() == 0
+
+    @pytest.mark.parametrize("topo", sorted(TOPOLOGIES))
+    def test_stardust_fabric_stays_lossless(self, topo):
+        # §5.5: the pull fabric never drops a cell; loss, if any, is
+        # at the ingress buffers and accounted separately.
+        import random
+
+        from repro.experiments.builders import build_network
+        from repro.net.flow import reset_flow_ids
+        from repro.transport.host import make_hosts
+        from repro.workloads.permutation import (
+            host_permutation,
+            start_permutation_flows,
+        )
+
+        reset_flow_ids()
+        spec = _spec("stardust", topo, "permutation")
+        net = build_network(spec)
+        addrs = spec.topology.addresses()
+        hosts, _tracker = make_hosts(net, addrs)
+        mapping = host_permutation(addrs, random.Random(3))
+        start_permutation_flows(hosts, mapping)
+        net.run(200_000)
+        metrics = net.collect_metrics()
+        assert metrics.fabric_drops == 0
+        assert metrics.queue_depth_unit == "cells"
