@@ -14,6 +14,12 @@ from repro.net.addressing import PortAddress
 from repro.sim.units import MILLISECOND, gbps
 from repro.workloads.generator import UniformRandomTraffic
 
+import pytest
+
+# Minutes-scale simulation: the fast gate skips it (-m 'not slow');
+# CI runs the slow marks on main.
+pytestmark = pytest.mark.slow
+
 SPEC = OneTierSpec(num_fas=6, uplinks_per_fa=4, hosts_per_fa=4)
 RATE = gbps(10)
 ADDRS = [

@@ -16,6 +16,12 @@ from repro.net.addressing import PortAddress
 from repro.sim.units import MILLISECOND, gbps
 from repro.workloads.generator import UniformRandomTraffic
 
+import pytest
+
+# Minutes-scale simulation: the fast gate skips it (-m 'not slow');
+# CI runs the slow marks on main.
+pytestmark = pytest.mark.slow
+
 SPEC = TwoTierSpec(pods=2, fas_per_pod=4, fes_per_pod=4, spines=4,
                    hosts_per_fa=4)
 RATE = gbps(10)

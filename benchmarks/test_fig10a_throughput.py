@@ -10,6 +10,12 @@ transports far below with a starved low tail.
 
 from harness import PERM_RATE, permutation_throughput, print_series
 
+import pytest
+
+# Minutes-scale simulation: the fast gate skips it (-m 'not slow');
+# CI runs the slow marks on main.
+pytestmark = pytest.mark.slow
+
 
 def test_fig10a_permutation_throughput(benchmark):
     def run():

@@ -21,6 +21,12 @@ from repro.transport.host import make_hosts
 from repro.workloads.distributions import flow_size_distribution
 from repro.workloads.permutation import host_permutation, start_permutation_flows
 
+import pytest
+
+# Minutes-scale simulation: the fast gate skips it (-m 'not slow');
+# CI runs the slow marks on main.
+pytestmark = pytest.mark.slow
+
 # A smaller fabric than Fig 10(a)'s so the three runs stay tractable on
 # one core: 4 FAs x 4 hosts, full bisection at 10G.
 SPEC = TwoTierSpec(pods=2, fas_per_pod=2, fes_per_pod=4, spines=4,

@@ -18,6 +18,12 @@ from repro.net.addressing import PortAddress
 from repro.sim.units import MILLISECOND, gbps
 from repro.workloads.generator import UniformRandomTraffic
 
+import pytest
+
+# Minutes-scale simulation: the fast gate skips it (-m 'not slow');
+# CI runs the slow marks on main.
+pytestmark = pytest.mark.slow
+
 RATE = gbps(10)
 LOADS = [0.66, 0.8, 0.92, 0.95]
 DURATION = 2 * MILLISECOND

@@ -83,16 +83,19 @@ class Cell:
             raise ValueError("header bytes must be non-negative")
         if self.kind is CellKind.DATA and self.voq is None:
             raise ValueError("data cells need a VOQ id")
+        # Fragments never change after construction, but size_bytes is
+        # read at every hop (spray, FCI check, link send) — memoize.
+        self._payload_bytes = sum(f.nbytes for f in self.fragments)
 
     @property
     def payload_bytes(self) -> int:
         """Payload bytes carried by this cell."""
-        return sum(f.nbytes for f in self.fragments)
+        return self._payload_bytes
 
     @property
     def size_bytes(self) -> int:
         """On-wire size of the cell."""
-        return self.header_bytes + self.payload_bytes
+        return self.header_bytes + self._payload_bytes
 
     @property
     def priority(self) -> int:

@@ -84,6 +84,9 @@ class FabricElement(Entity):
         self.cells_forwarded = 0
         self.cells_fci_marked = 0
         self.no_route_drops = 0
+        # The FCI threshold is consulted once per forwarded cell; keep
+        # it off the config attribute chain.
+        self._fci_threshold = config.fci_threshold_cells
 
     # ------------------------------------------------------------------
     # Wiring (builder API)
@@ -220,18 +223,20 @@ class FabricElement(Entity):
         return [p for p in self._up_map.get(dst_fa, ()) if p.out.up]
 
     def _forward(self, cell: Cell) -> None:
-        ports = self.eligible_ports(cell.dst_fa)
+        dst_fa = cell.dst_fa
+        ports = self.eligible_ports(dst_fa)
         if not ports:
             self.no_route_drops += 1
             return
-        port = self._spray.pick(cell.dst_fa, ports)
+        port = self._spray.pick(dst_fa, ports)
         out = port.out
+        depth = out.queued_frames
         # FCI: piggyback congestion on cells leaving a congested queue.
-        if out.queued_frames >= self.config.fci_threshold_cells:
+        if depth >= self._fci_threshold:
             cell.fci = True
             self.cells_fci_marked += 1
         if self.sample_down_queues and port.direction == "down":
-            self.down_queue_depth.record(out.queued_frames)
+            self.down_queue_depth.record(depth)
         self.cells_forwarded += 1
         out.send(cell, cell.size_bytes)
 

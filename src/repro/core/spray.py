@@ -34,8 +34,13 @@ class SprayArbiter:
         self._rng = rng
         self._reshuffle_every = reshuffle_every
         self.mode = mode
-        # Per destination: (permutation, cursor, cells_since_shuffle).
-        self._state: Dict[Hashable, tuple[list, int, int]] = {}
+        # Per destination, mutated in place:
+        # [permutation, cursor, cells_since_shuffle, last_links_snapshot].
+        # The snapshot is the eligible sequence exactly as last passed;
+        # comparing against it is a C-level identity walk, so the
+        # unchanged-set case (every cell between reachability events)
+        # skips the two set() builds the old code paid per pick.
+        self._state: Dict[Hashable, list] = {}
 
     def pick(self, dst: Hashable, links: Sequence[L]) -> L:
         """The link to use for the next cell toward ``dst``.
@@ -52,20 +57,32 @@ class SprayArbiter:
             return links[hash(dst) % len(links)]
 
         state = self._state.get(dst)
-        if state is None or set(state[0]) != set(links):
+        if state is None:
             perm = list(links)
             self._rng.shuffle(perm)
-            state = (perm, 0, 0)
-        perm, cursor, since = state
+            state = [perm, 0, 0, list(links)]
+            self._state[dst] = state
+        elif links != state[3]:
+            # Same membership in a different order keeps the walk; a
+            # membership change (reachability update) restarts it.
+            if set(state[0]) != set(links):
+                perm = list(links)
+                self._rng.shuffle(perm)
+                state[0] = perm
+                state[1] = 0
+                state[2] = 0
+            state[3] = list(links)
+        perm = state[0]
+        cursor = state[1]
         link = perm[cursor]
         cursor += 1
-        since += 1
+        state[2] += 1
         if cursor >= len(perm):
             cursor = 0
-            if since >= self._reshuffle_every:
+            if state[2] >= self._reshuffle_every:
                 self._rng.shuffle(perm)
-                since = 0
-        self._state[dst] = (perm, cursor, since)
+                state[2] = 0
+        state[1] = cursor
         return link
 
     def forget(self, dst: Hashable) -> None:

@@ -20,6 +20,10 @@ from repro.net.packet import Packet
 class SharedBufferPool:
     """Byte budget shared by all VOQs of one Fabric Adapter."""
 
+    __slots__ = (
+        "capacity_bytes", "used_bytes", "dropped_frames", "dropped_bytes",
+    )
+
     def __init__(self, capacity_bytes: int) -> None:
         if capacity_bytes <= 0:
             raise ValueError("buffer capacity must be positive")
@@ -51,6 +55,12 @@ class SharedBufferPool:
 
 class Voq:
     """A single virtual output queue."""
+
+    __slots__ = (
+        "id", "_pool", "_packets", "_bytes", "credit_balance",
+        "last_reported_bytes", "enqueued_packets", "enqueued_bytes",
+        "dequeued_packets", "peak_bytes", "next_seq",
+    )
 
     def __init__(self, voq_id: VoqId, pool: SharedBufferPool) -> None:
         self.id = voq_id

@@ -416,12 +416,13 @@ _EXECUTORS = {
 # ----------------------------------------------------------------------
 
 
-def run_spec(spec: ScenarioSpec, hermetic: bool = True) -> RunResult:
-    """Execute one spec and return its result.
+def run_spec_with_network(spec: ScenarioSpec, hermetic: bool = True):
+    """Execute one spec; returns ``(result, network)``.
 
-    ``hermetic`` (the default) resets the global flow-id space first so
-    the result is independent of whatever ran earlier in this process —
-    required for the content-hash cache and cross-process determinism.
+    The network is handed back *after* the run so callers that need more
+    than the :class:`RunResult` — the perf harness hashes latency
+    histograms and reads ``net.sim.events_fired`` for its golden-trace
+    digests — can take their measurements without re-running anything.
     """
     kind = spec.workload["kind"]
     try:
@@ -434,7 +435,17 @@ def run_spec(spec: ScenarioSpec, hermetic: bool = True) -> RunResult:
     if hermetic:
         reset_flow_ids()
     net = build_network(spec)
-    return executor(spec, net)
+    return executor(spec, net), net
+
+
+def run_spec(spec: ScenarioSpec, hermetic: bool = True) -> RunResult:
+    """Execute one spec and return its result.
+
+    ``hermetic`` (the default) resets the global flow-id space first so
+    the result is independent of whatever ran earlier in this process —
+    required for the content-hash cache and cross-process determinism.
+    """
+    return run_spec_with_network(spec, hermetic=hermetic)[0]
 
 
 def _worker_run(payload: str) -> Dict[str, Any]:

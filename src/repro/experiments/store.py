@@ -23,6 +23,33 @@ DEFAULT_STORE_DIR = ".experiment-store"
 STORE_DIR_ENV = "REPRO_EXPERIMENT_STORE"
 
 
+def atomic_write_json(path: os.PathLike, payload, indent: int = 1) -> Path:
+    """Write ``payload`` as canonical JSON at ``path``, atomically.
+
+    Writes to a temp file in the destination directory and renames it
+    into place, so readers never observe a half-written cell.  Shared by
+    the result store and the perf harness (``BENCH_perf.json``, golden
+    traces), which all promise crash-consistent output files.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    text = json.dumps(payload, sort_keys=True, indent=indent)
+    fd, tmp = tempfile.mkstemp(
+        dir=path.parent, prefix=path.stem, suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(text)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    return path
+
+
 class ResultStore:
     """Directory of ``<spec-hash>.json`` result cells."""
 
@@ -54,27 +81,10 @@ class ResultStore:
 
     def put(self, spec: ScenarioSpec, result: RunResult) -> Path:
         """Persist one cell atomically; returns its path."""
-        self.root.mkdir(parents=True, exist_ok=True)
-        path = self.path_for(spec)
-        payload = json.dumps(
+        return atomic_write_json(
+            self.path_for(spec),
             {"spec": spec.to_dict(), "result": result.to_dict()},
-            sort_keys=True,
-            indent=1,
         )
-        fd, tmp = tempfile.mkstemp(
-            dir=self.root, prefix=path.stem, suffix=".tmp"
-        )
-        try:
-            with os.fdopen(fd, "w") as handle:
-                handle.write(payload)
-            os.replace(tmp, path)
-        except BaseException:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
-        return path
 
     def cells(self) -> List[Path]:
         """All stored cell files."""

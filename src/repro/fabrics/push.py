@@ -191,7 +191,7 @@ class PushFabricNetwork(FabricNetwork):
         """Merged queue-depth samples from fabric switches (bytes)."""
         merged = Histogram("push.queue_bytes")
         for sw in self.fabric:
-            merged.extend(sw.queue_depth.samples)
+            merged.merge(sw.queue_depth)
         return merged
 
     def total_delivered_bytes(self) -> int:

@@ -230,21 +230,21 @@ class StardustNetwork(FabricNetwork):
         """Merged fabric-traversal latency histogram (ns)."""
         merged = Histogram("fabric.cell_latency_ns")
         for fa in self.fas:
-            merged.extend(fa.cell_latency.samples)
+            merged.merge(fa.cell_latency)
         return merged
 
     def packet_latency(self) -> Histogram:
         """Merged host-to-host packet latency histogram (ns)."""
         merged = Histogram("fabric.packet_latency_ns")
         for fa in self.fas:
-            merged.extend(fa.packet_latency.samples)
+            merged.merge(fa.packet_latency)
         return merged
 
     def fabric_queue_depth(self) -> Histogram:
         """Queue depths (cells) seen at last-stage down-links (Fig 9)."""
         merged = Histogram("fabric.down_queue_cells")
         for fe in self.fes:
-            merged.extend(fe.down_queue_depth.samples)
+            merged.merge(fe.down_queue_depth)
         return merged
 
     def fabric_cell_drops(self) -> int:

@@ -1,0 +1,56 @@
+"""repro.perf — hot-path benchmarks, golden traces and the perf gate.
+
+Three jobs:
+
+* **Benchmark** the event/link hot path (``python -m repro.perf``):
+  micro benches for the engine and links, meso benches running the
+  permutation workload per fabric x tier, and the headline
+  ``permutation_default`` wall-clock.  Results land in
+  ``BENCH_perf.json``; the committed baseline lives in
+  ``benchmarks/perf_baseline.json``.
+* **Prove** optimizations behavior-preserving: compact run digests
+  (:mod:`repro.perf.digest`) recorded as golden traces
+  (:mod:`repro.perf.golden`, checked by ``tests/test_golden_traces.py``).
+* **Gate** regressions: the CLI's ``--check`` fails when any bench's
+  events/sec drops more than 20% below the committed baseline.
+"""
+
+from repro.perf.bench import (
+    BenchResult,
+    bench_engine_cancel_churn,
+    bench_engine_events,
+    bench_link_stream,
+    default_permutation_spec,
+    suite,
+)
+from repro.perf.digest import diff_digests, run_digest, values_hash
+from repro.perf.golden import (
+    DEFAULT_GOLDEN_DIR,
+    check_goldens,
+    compute_digest,
+    golden_name,
+    golden_specs,
+    write_goldens,
+)
+
+#: A bench regresses when events/sec falls below (1 - this) x baseline.
+REGRESSION_TOLERANCE = 0.20
+
+__all__ = [
+    "BenchResult",
+    "DEFAULT_GOLDEN_DIR",
+    "REGRESSION_TOLERANCE",
+    "bench_engine_cancel_churn",
+    "bench_engine_events",
+    "bench_link_stream",
+    "check_goldens",
+    "compute_digest",
+    "default_permutation_spec",
+    "diff_digests",
+    "golden_name",
+    "golden_specs",
+    "run_digest",
+    "suite",
+    "values_hash",
+    "write_goldens",
+]

@@ -9,12 +9,26 @@ The link keeps its own transmit queue and exposes its depth; devices
 that need finite buffers (Ethernet drop-tail switches) or congestion
 marking (Fabric Elements) consult :attr:`queued_bytes` /
 :attr:`queued_frames` before or while enqueuing.
+
+Hot-path design
+---------------
+
+Every frame used to cost two closure allocations (one for the
+serialization-done event, one for delivery) plus a fresh
+``time_ns_for_bytes`` division.  Links now schedule two *bound methods*
+through the engine's no-handle fast path and keep the frame payloads in
+FIFO side queues (``_serializing``, ``_in_flight``): serialization
+events complete in scheduling order per link, and propagation adds the
+same constant to monotonically increasing completion times, so popping
+left always matches the right frame.  Serialization times are memoized
+per frame size — fabric traffic uses a handful of distinct sizes, so
+the per-cell cost collapses to one dict hit.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Callable, Optional
+from typing import Any, Callable, Dict, Optional
 
 from repro.sim.engine import Simulator
 from repro.sim.entity import Entity
@@ -27,6 +41,13 @@ class LinkDown(RuntimeError):
 
 class Link:
     """A simplex serial link with serialization + propagation delay."""
+
+    __slots__ = (
+        "sim", "src", "dst", "rate_bps", "propagation_ns", "name", "up",
+        "_queue", "_queued_bytes", "_busy", "_serializing", "_in_flight",
+        "_tx_ns", "tx_frames", "tx_bytes", "peak_queue_bytes",
+        "peak_queue_frames", "on_transmit", "on_idle",
+    )
 
     def __init__(
         self,
@@ -52,6 +73,18 @@ class Link:
         self._queue: deque[tuple[Any, int]] = deque()
         self._queued_bytes = 0
         self._busy = False
+        #: (payload, size, done_ns) whose serialization event is
+        #: pending.  Normally at most one entry; fail()/restore() can
+        #: leave a stale pre-fail entry alongside a new one, so
+        #: ``_tx_done`` matches on done_ns rather than trusting FIFO.
+        self._serializing: deque[tuple[Any, int, int]] = deque()
+        #: Payloads on the wire (serialized, not yet delivered).  Pure
+        #: FIFO is exact here: entries are appended in simulation-time
+        #: order and all delivery events share one propagation delay,
+        #: so they fire in append order.
+        self._in_flight: deque[Any] = deque()
+        #: Frame size -> serialization time at this link's rate.
+        self._tx_ns: Dict[int, int] = {}
 
         # Accounting.
         self.tx_frames = 0
@@ -97,12 +130,14 @@ class Link:
             raise LinkDown(f"link {self.name} is down")
         if size_bytes <= 0:
             raise ValueError(f"frame size must be positive, got {size_bytes}")
-        self._queue.append((payload, size_bytes))
-        self._queued_bytes += size_bytes
-        if self._queued_bytes > self.peak_queue_bytes:
-            self.peak_queue_bytes = self._queued_bytes
-        if len(self._queue) > self.peak_queue_frames:
-            self.peak_queue_frames = len(self._queue)
+        queue = self._queue
+        queue.append((payload, size_bytes))
+        queued = self._queued_bytes + size_bytes
+        self._queued_bytes = queued
+        if queued > self.peak_queue_bytes:
+            self.peak_queue_bytes = queued
+        if len(queue) > self.peak_queue_frames:
+            self.peak_queue_frames = len(queue)
         if not self._busy:
             self._start_next()
 
@@ -112,26 +147,45 @@ class Link:
         self._busy = True
         if self.on_transmit is not None:
             self.on_transmit(payload)
-        tx_time = time_ns_for_bytes(size, self.rate_bps)
-        self.sim.schedule(tx_time, lambda: self._tx_done(payload, size))
+        tx_time = self._tx_ns.get(size)
+        if tx_time is None:
+            tx_time = self._tx_ns[size] = time_ns_for_bytes(
+                size, self.rate_bps
+            )
+        self._serializing.append((payload, size, self.sim.now + tx_time))
+        self.sim.call_later(tx_time, self._tx_done)
 
-    def _tx_done(self, payload: Any, size: int) -> None:
+    def _tx_done(self) -> None:
+        serializing = self._serializing
+        now = self.sim.now
+        if serializing[0][2] == now:
+            payload, size, _ = serializing.popleft()
+        else:
+            # A stale pre-fail serialization is still pending and a
+            # post-restore frame finished first: this event belongs to
+            # the first entry scheduled to complete right now (ties pop
+            # in append order, matching event sequence order).
+            index = 1
+            while serializing[index][2] != now:
+                index += 1
+            payload, size, _ = serializing[index]
+            del serializing[index]
         self.tx_frames += 1
         self.tx_bytes += size
         if self.up:
             # Frame hits the wire; deliver after propagation.
-            self.sim.schedule(
-                self.propagation_ns, lambda: self._deliver(payload)
-            )
-        # Next frame, if any.
-        if self._queue and self.up:
-            self._start_next()
-        else:
-            self._busy = False
-            if self.on_idle is not None and not self._queue:
-                self.on_idle()
+            self._in_flight.append(payload)
+            self.sim.call_later(self.propagation_ns, self._deliver)
+            # Next frame, if any.
+            if self._queue:
+                self._start_next()
+                return
+        self._busy = False
+        if self.on_idle is not None and not self._queue:
+            self.on_idle()
 
-    def _deliver(self, payload: Any) -> None:
+    def _deliver(self) -> None:
+        payload = self._in_flight.popleft()
         if self.up:
             self.dst.receive(payload, self)
 

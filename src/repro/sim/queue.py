@@ -49,6 +49,10 @@ class FifoQueue(Generic[T]):
     cells both work unannotated.
     """
 
+    __slots__ = (
+        "name", "capacity_bytes", "_size_of", "_items", "_bytes", "stats",
+    )
+
     def __init__(
         self,
         capacity_bytes: Optional[int] = None,

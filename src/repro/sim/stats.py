@@ -67,6 +67,16 @@ class Histogram:
         """Add many samples."""
         self._samples.extend(float(v) for v in values)
 
+    def merge(self, other: "Histogram") -> None:
+        """Append another histogram's samples.
+
+        Unlike ``extend(other.samples)`` this neither copies the source
+        list nor re-coerces every sample (they are floats already) — the
+        per-run metric merges in ``collect_metrics`` walk every recorded
+        sample, so the copies were pure overhead.
+        """
+        self._samples.extend(other._samples)
+
     @property
     def count(self) -> int:
         """Number of recorded samples."""

@@ -1,5 +1,7 @@
 """Unit tests for the discrete-event engine."""
 
+import random
+
 import pytest
 
 from repro.sim.engine import PeriodicTask, SimError, Simulator
@@ -124,6 +126,138 @@ def test_max_events_limits_run():
         sim.schedule(i + 1, lambda i=i: fired.append(i))
     sim.run(max_events=3)
     assert fired == [0, 1, 2]
+
+
+class TestFastSchedulingPath:
+    """call_later / schedule_at: no Event handle, same total order."""
+
+    def test_fast_and_slow_paths_share_one_sequence_space(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(10, lambda: order.append("a"))
+        sim.call_later(10, lambda: order.append("b"))
+        sim.schedule_at(10, lambda: order.append("c"))
+        sim.schedule(10, lambda: order.append("d"))
+        sim.run()
+        assert order == ["a", "b", "c", "d"]
+
+    def test_call_later_negative_delay_raises(self):
+        sim = Simulator()
+        with pytest.raises(SimError):
+            sim.call_later(-1, lambda: None)
+
+    def test_schedule_at_past_raises(self):
+        sim = Simulator()
+        sim.schedule(10, lambda: None)
+        sim.run()
+        with pytest.raises(SimError):
+            sim.schedule_at(5, lambda: None)
+
+    def test_fast_path_returns_no_handle(self):
+        sim = Simulator()
+        assert sim.call_later(5, lambda: None) is None
+        assert sim.schedule_at(5, lambda: None) is None
+
+
+class TestLazyDeletionAccounting:
+    """Cancel/reschedule churn: no inflated counters, no leaked heap."""
+
+    def test_set_period_churn_never_inflates_events_fired(self):
+        # A DCQCN-style rate-update storm: hundreds of set_period calls,
+        # each shortening cancels the pending tick and re-arms it.  Only
+        # callbacks that actually executed may count.
+        sim = Simulator()
+        ticks = []
+        task = PeriodicTask(sim, 1000, lambda: ticks.append(sim.now))
+
+        def churn():
+            for step in range(400):
+                task.set_period(1000 - step)  # always shorter: re-arms
+
+        sim.schedule(5, churn)
+        sim.run(until=5000)
+        assert sim.events_fired == len(ticks) + 1  # ticks + churn driver
+        task.stop()
+
+    def test_cancelled_events_do_not_leak_past_run_until(self):
+        sim = Simulator()
+        for i in range(10):
+            sim.at(10_000 + i, lambda: None)
+        doomed = [sim.at(50_000 + i, lambda: None) for i in range(5000)]
+        for event in doomed:
+            event.cancel()
+        sim.run(until=100)
+        # The corpses were compacted away, not retained until t=50000.
+        assert sim.pending_live == 10
+        assert sim.pending <= 10 + 2 * Simulator.COMPACT_MIN_CANCELLED
+        assert sim.events_fired == 0
+
+    def test_heap_compacts_when_cancelled_events_dominate(self):
+        sim = Simulator()
+        keep = Simulator.COMPACT_MIN_CANCELLED
+        events = [sim.at(100 + i, lambda: None) for i in range(4 * keep)]
+        for event in events[keep:]:
+            event.cancel()
+        # More than half the heap was cancelled -> compaction ran.
+        assert sim.pending < len(events)
+        assert sim.pending_live == keep
+        sim.run()
+        assert sim.events_fired == keep
+
+    def test_compaction_preserves_total_firing_order(self):
+        rng = random.Random(3)
+        sim = Simulator()
+        fired = []
+        expected = []
+        events = []
+        for seq in range(2000):
+            t = rng.randrange(0, 200)
+            tag = (t, seq)
+            events.append((sim.at(t, lambda tag=tag: fired.append(tag)), tag))
+        for event, tag in events:
+            if rng.random() < 0.7:
+                event.cancel()
+            else:
+                expected.append(tag)
+        sim.run()
+        assert fired == sorted(expected)
+        assert sim.events_fired == len(expected)
+        assert sim.pending == 0
+
+    def test_cancel_is_idempotent_in_the_accounting(self):
+        sim = Simulator()
+        event = sim.schedule(10, lambda: None)
+        survivor = sim.schedule(20, lambda: None)
+        for _ in range(5):
+            event.cancel()
+        assert sim.pending_live == 1
+        sim.run()
+        assert sim.events_fired == 1
+        assert survivor.time_ns == 20
+
+    def test_cancelling_a_fired_event_is_free(self):
+        # Stale handles (RTO guards kept past their firing) must not be
+        # booked as heap corpses when finally cancelled.
+        sim = Simulator()
+        events = [sim.schedule(i + 1, lambda: None) for i in range(8)]
+        sim.run()
+        for event in events:
+            event.cancel()
+        assert sim.pending == 0
+        assert sim.pending_live == 0
+        assert sim.events_fired == 8
+
+    def test_max_events_stop_does_not_lose_the_boundary_event(self):
+        # Regression: the old loop popped the (max_events+1)-th event
+        # before noticing the budget was spent, silently dropping it.
+        sim = Simulator()
+        fired = []
+        for i in range(10):
+            sim.schedule(i + 1, lambda i=i: fired.append(i))
+        sim.run(max_events=3)
+        assert fired == [0, 1, 2]
+        sim.run()
+        assert fired == list(range(10))
 
 
 class TestPeriodicTask:

@@ -143,6 +143,24 @@ def test_duplex_creates_symmetric_pair_and_attaches_ports():
     assert [p for _, p in a.received] == ["pong"]
 
 
+def test_restore_mid_serialization_keeps_frame_pairing():
+    # Regression: a frame serializing when the link fails leaves its
+    # completion event pending.  If the link is restored and a smaller
+    # frame is sent before that stale event fires, the *new* frame's
+    # completion arrives first — each completion must process its own
+    # frame, not whatever sits at the head of the FIFO.
+    sim = Simulator()
+    link, dst = make_link(sim, rate_bps=GBPS)  # 8 ns/byte
+    link.send("BIG", 10_000)  # completes at t=80000
+    sim.schedule(100, link.fail)
+    sim.schedule(500, link.restore)
+    sim.schedule(800, lambda: link.send("small", 100))  # completes t=1600
+    sim.run()
+    assert dst.received == [(1600, "small"), (80000, "BIG")]
+    assert link.tx_frames == 2
+    assert link.tx_bytes == 10_100
+
+
 def test_50g_link_timing():
     sim = Simulator()
     link, dst = make_link(sim, rate_bps=gbps(50))
