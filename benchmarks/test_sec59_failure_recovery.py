@@ -1,0 +1,108 @@
+"""§5.9/§5.10 head to head: graceful degradation vs blackholing.
+
+The same declarative failure — one edge uplink down for 200us, both
+directions, mid-permutation — driven through both fabrics via the
+fault-injection subsystem:
+
+* Stardust (dynamic reachability): the source excludes the dead link
+  on loss of signal, the protocol re-heals the remote view at the
+  Appendix E timescale, cells keep spraying over the survivors, and
+  nothing blackholes.
+* Push/ECMP (delayed rehash): flows hashed onto the dead path are
+  blackholed until the rehash interval elapses — §5.2's complaint as
+  a measured number, not prose.
+"""
+
+from harness import print_series
+
+from repro.experiments.registry import build_scenario
+from repro.experiments.runner import run_spec_with_network
+from repro.experiments.spec import TopologySpec
+from repro.perf.digest import run_digest
+from repro.sim.units import MICROSECOND
+
+TOPOLOGY = TopologySpec(
+    "two_tier",
+    dict(pods=2, fas_per_pod=2, fes_per_pod=2, spines=2, hosts_per_fa=2),
+)
+WINDOWS = dict(warmup_ns=200 * MICROSECOND, measure_ns=600 * MICROSECOND)
+FAULT = dict(fail_at_ns=300 * MICROSECOND, downtime_ns=200 * MICROSECOND)
+
+
+def _run(kind):
+    spec = build_scenario(
+        "permutation_link_failure", kind=kind, topology=TOPOLOGY,
+        **WINDOWS, **FAULT,
+    )
+    result, net = run_spec_with_network(spec)
+    return spec, result, net
+
+
+def test_sec59_failure_recovery(benchmark):
+    (s_spec, s_result, s_net), (p_spec, p_result, p_net) = (
+        benchmark.pedantic(
+            lambda: (_run("stardust"), _run("tcp")), rounds=1, iterations=1
+        )
+    )
+    s_res = s_net.collect_metrics().resilience
+    p_res = p_net.collect_metrics().resilience
+
+    rows = [
+        ("", "stardust", "push/ECMP"),
+        (
+            "mean goodput [Gbps]",
+            f"{s_result.mean_rate_gbps:.2f}",
+            f"{p_result.mean_rate_gbps:.2f}",
+        ),
+        (
+            "throughput dip depth",
+            f"{s_res.dip_depth:.0%}",
+            f"{p_res.dip_depth:.0%}",
+        ),
+        (
+            "frames lost in transit",
+            s_res.frames_lost_in_transit,
+            p_res.frames_lost_in_transit,
+        ),
+        ("blackholed flows", s_res.blackholed_flows, p_res.blackholed_flows),
+        (
+            "protocol detect [us]",
+            f"{(s_res.protocol_detect_ns or 0) / 1e3:.0f}",
+            "n/a (no protocol)",
+        ),
+        (
+            "analytical recovery [us]",
+            f"{(s_res.analytical_recovery_ns or 0) / 1e3:.1f}",
+            "n/a",
+        ),
+    ]
+    print_series("§5.9/§5.10: one link down for 200us, both fabrics", rows)
+
+    # Stardust: per-cell spray means nothing blackholes; the dead link
+    # is excluded on loss of signal, the protocol heals the rest.
+    assert s_res.blackholed_flows == 0
+    assert s_res.faults_injected == 1
+    assert s_res.protocol_detect_ns is not None
+    assert s_res.analytical_recovery_ns is not None
+    # Detection is protocol-speed: same order as the Appendix E value.
+    assert (
+        s_res.analytical_recovery_ns * 0.2
+        <= s_res.protocol_detect_ns
+        <= s_res.analytical_recovery_ns * 5
+    )
+
+    # Push: ECMP keeps hashing flows onto the dead path until rehash.
+    assert p_res.blackholed_flows > 0
+    assert p_res.blackholed_packets > 0
+
+    # Both fabrics lose whatever sat on the failed link itself.
+    assert s_res.frames_lost_in_transit > 0
+    assert p_res.frames_lost_in_transit > 0
+
+    # The cell fabric out-delivers the push baseline under failure.
+    assert s_result.mean_rate_gbps > p_result.mean_rate_gbps
+
+    # Failure experiments are as reproducible as healthy ones.
+    assert run_digest(s_result, s_net) == run_digest(
+        *run_spec_with_network(s_spec)
+    )

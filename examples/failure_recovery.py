@@ -1,21 +1,19 @@
 #!/usr/bin/env python3
-"""Self-healing fabric (§5.9): kill a link mid-run and watch traffic heal.
+"""Self-healing fabric (§5.9): declare a failure, watch traffic heal.
 
-Runs the live reachability protocol (periodic reachability cells, link
-health thresholds), fails one Fabric Adapter uplink in both directions
-while traffic flows, and shows that:
-
-* the Fabric Adapter stops spraying onto the dead link within a few
-  reachability periods (hundreds of microseconds, Appendix E scale);
-* traffic keeps flowing over the surviving links, with zero cells lost
-  after the reassembly timeout cleans up the in-flight casualties;
-* the link is used again after it is restored.
+Failure is an *experiment input* here: a declarative FaultPlan (fail
+one Fabric Adapter uplink both ways, repair it later) is compiled into
+engine-scheduled events against a live dynamic-reachability Stardust
+network, and the injector reports the resilience metrics — protocol
+detection time next to the Appendix E analytical recovery time,
+throughput dip, frames lost in transit.
 
 Run:  python examples/failure_recovery.py
 """
 
 from repro.core.config import StardustConfig
 from repro.fabrics import OneTierSpec, StardustNetwork
+from repro.faults import FaultPlan, attach_plan, link_down, link_up
 from repro.net.addressing import PortAddress
 from repro.net.packet import Packet
 from repro.sim.entity import Entity
@@ -55,56 +53,55 @@ def main() -> None:
         network.attach_host(addr, host)
         hosts[addr] = host
 
-    # Let the reachability protocol converge.
+    # Let the reachability protocol converge before the experiment.
     network.run(500 * MICROSECOND)
-    src, dst = hosts[PortAddress(0, 0)], PortAddress(2, 0)
+
+    # The failure, declared: uplink 0 of FA 0 dies at t=+1ms (both
+    # directions) and is repaired at t=+3ms.  The same plan would run
+    # unchanged against the push/ECMP baseline.
+    plan = FaultPlan(
+        events=[
+            link_down(1 * MILLISECOND, edge=0, uplink=0),
+            link_up(3 * MILLISECOND, edge=0, uplink=0),
+        ],
+        sample_period_ns=20 * MICROSECOND,
+    )
+    attach_plan(plan, network)
+
     fa0 = network.fas[0]
     print(f"eligible uplinks toward fa2 before failure: "
           f"{len(fa0.eligible_uplinks(2))}")
 
-    # Steady traffic.
-    for _ in range(100):
-        src.send_to(dst, 1200)
-    network.run(1 * MILLISECOND)
-    before = hosts[dst].received
-    print(f"delivered before failure: {before}")
-
-    # Kill uplink 0 in both directions.
-    dead_up = fa0.uplinks[0]
-    dead_up.fail()
-    fe = dead_up.dst
-    for port in fe.fabric_ports:
-        if port.out.dst is fa0:
-            port.out.fail()
-    fail_time = network.sim.now
-    print(f"\n*** failed link {dead_up.name} at t={fail_time / 1000:.0f} us")
-
-    # Wait for detection (miss_threshold x period plus margin).
-    network.run(500 * MICROSECOND)
+    # Steady traffic across the failure window: one packet every 40us
+    # for 4ms, spanning the outage at [+1ms, +3ms].
+    src, dst = hosts[PortAddress(0, 0)], PortAddress(2, 0)
+    for burst_at_us in range(0, 4000, 40):
+        network.sim.schedule(
+            burst_at_us * MICROSECOND,
+            lambda: src.send_to(dst, 1200),
+        )
+    network.run(1_500 * MICROSECOND)  # mid-outage
     eligible = fa0.eligible_uplinks(2)
-    print(f"eligible uplinks after detection: {len(eligible)} "
-          f"(dead link excluded: {dead_up not in eligible})")
+    dead = fa0.uplinks[0]
+    print(f"mid-outage eligible uplinks: {len(eligible)} "
+          f"(dead link excluded: {dead not in eligible})")
 
-    # Traffic continues over surviving links.
-    for _ in range(100):
-        src.send_to(dst, 1200)
-    network.run(2 * MILLISECOND)
-    print(f"delivered after failure: {hosts[dst].received - before}/100")
+    network.run(2_500 * MICROSECOND)  # through repair + re-admission
+    print(f"after repair: {len(fa0.eligible_uplinks(2))} uplinks eligible")
 
-    # Restore the link: reachability cells flow again, and after the
-    # up-threshold is met the link rejoins the spray set.
-    dead_up.restore()
-    for port in fe.fabric_ports:
-        if port.out.dst is fa0:
-            port.out.restore()
-    network.run(500 * MICROSECOND)
-    print(f"\n*** restored; eligible uplinks: "
-          f"{len(fa0.eligible_uplinks(2))}")
+    resilience = network.collect_metrics().resilience
+    print(f"\ndelivered: {hosts[dst].received}/100 packets")
+    print(f"faults injected:        {resilience.faults_injected}")
+    print(f"frames lost in transit: {resilience.frames_lost_in_transit}")
+    print(f"protocol detection:     {resilience.protocol_detect_ns} ns")
+    print(f"analytical (App. E):    "
+          f"{resilience.analytical_recovery_ns:.0f} ns")
 
-    assert dead_up not in eligible
-    assert hosts[dst].received - before == 100
+    assert dead not in eligible
+    assert hosts[dst].received == 100
     assert len(fa0.eligible_uplinks(2)) == spec.uplinks_per_fa
-    print("OK: the fabric healed itself, no operator involved")
+    assert resilience.protocol_detect_ns is not None
+    print("\nOK: the fabric healed itself, no operator involved")
 
 
 if __name__ == "__main__":

@@ -38,12 +38,21 @@ class EthConfig:
     #: "flow" = ECMP per-flow hash; "packet" = per-packet spray
     #: (ablation; reorders packets).
     load_balance: str = "flow"
+    #: How long after a link failure the switch keeps hashing flows
+    #: onto the dead path (§5.10: a pushed fabric blackholes flows
+    #: until routing/ECMP rehash converges).  Packets picked onto a
+    #: dead-but-not-yet-rehashed port are dropped and their flows
+    #: counted as blackholed.  0 = instant rehash (the historical,
+    #: optimistic behavior; keeps no-fault runs byte-identical).
+    ecmp_rehash_ns: int = 0
 
     def __post_init__(self) -> None:
         if self.port_buffer_bytes <= 0:
             raise ValueError("buffer must be positive")
         if self.load_balance not in ("flow", "packet"):
             raise ValueError(f"unknown load_balance {self.load_balance!r}")
+        if self.ecmp_rehash_ns < 0:
+            raise ValueError("ecmp_rehash_ns must be non-negative")
 
 
 @dataclass(eq=False)
@@ -94,6 +103,14 @@ class EthernetSwitch(Entity):
         self.delivered_host_bytes = 0
         self.queue_depth = Histogram(f"{name}.queue_bytes")
         self.sample_queues = False
+        # Failure modelling: packets hashed onto a failed-but-not-yet-
+        # rehashed ECMP path are blackholed (dropped + flow recorded);
+        # a dead switch drops everything it receives.
+        self._rehash_ns = config.ecmp_rehash_ns
+        self.blackholed = 0
+        self.blackholed_flow_ids: set = set()
+        self.alive = True
+        self.dead_drops = 0
 
     # ------------------------------------------------------------------
     # Wiring
@@ -129,6 +146,25 @@ class EthernetSwitch(Entity):
         return list(self._ports)
 
     # ------------------------------------------------------------------
+    # Failure injection (§5.10 device death)
+    # ------------------------------------------------------------------
+    def fail(self) -> int:
+        """Kill this switch: all output links down, arrivals dropped.
+
+        Returns frames lost from the output queues.  Links *into* a
+        dead switch belong to its neighbors; the fault injector fails
+        those too.
+        """
+        self.alive = False
+        return sum(port.out.fail() for port in self._ports)
+
+    def restore(self) -> None:
+        """Bring the switch (and its output links) back up."""
+        self.alive = True
+        for port in self._ports:
+            port.out.restore()
+
+    # ------------------------------------------------------------------
     # Forwarding
     # ------------------------------------------------------------------
     def receive(self, payload: Packet, link: Link) -> None:
@@ -137,20 +173,42 @@ class EthernetSwitch(Entity):
 
     def forward(self, packet: Packet) -> None:
         """Route ``packet`` and enqueue it on an output port."""
+        if not self.alive:
+            self.dead_drops += 1
+            return
         port = self._route(packet)
         if port is None:
             self.no_route_drops += 1
             return
+        if not port.out.up:
+            # ECMP still hashes this flow onto the dead path: the
+            # packet is blackholed until the rehash interval elapses.
+            self.blackholed += 1
+            self.blackholed_flow_ids.add(packet.flow_id)
+            return
         self._enqueue(port, packet)
+
+    def _live(self, ports) -> List[EthPort]:
+        """ECMP candidate set: live ports, plus — while the rehash
+        delay has not elapsed — recently failed ones (whose packets
+        blackhole), modelling slow ECMP convergence."""
+        rehash = self._rehash_ns
+        if not rehash:
+            return [p for p in ports if p.out.up]
+        now = self.sim.now
+        return [
+            p for p in ports
+            if p.out.up or now < p.out.failed_at_ns + rehash
+        ]
 
     def _route(self, packet: Packet) -> Optional[EthPort]:
         dst_tor = packet.dst.fa
         if dst_tor == self.switch_id and self._host_ports:
             return self._host_ports.get(packet.dst.port)
-        down = [p for p in self._down_map.get(dst_tor, ()) if p.out.up]
+        down = self._live(self._down_map.get(dst_tor, ()))
         if down:
             return self._pick(packet, down)
-        ups = [p for p in self.up_ports if p.out.up]
+        ups = self._live(self.up_ports)
         if not ups:
             return None
         return self._pick(packet, ups)

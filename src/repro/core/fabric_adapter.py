@@ -115,6 +115,10 @@ class FabricAdapter(Entity):
         #: Host flow-control state (§5.4): True while PAUSE is asserted.
         self.hosts_paused = False
         self.pause_frames_sent = 0
+        #: Device-death state: a failed FA neither accepts host packets
+        #: nor egresses cells; whatever still reaches it is counted.
+        self.alive = True
+        self.dead_drops = 0
 
     # ------------------------------------------------------------------
     # Wiring (builder API)
@@ -197,10 +201,32 @@ class FabricAdapter(Entity):
         return result
 
     # ------------------------------------------------------------------
+    # Failure injection (§5.10 device death)
+    # ------------------------------------------------------------------
+    def fail(self) -> int:
+        """Kill this FA: uplinks go down, arriving traffic is dropped.
+
+        Returns frames lost from the uplink transmit queues.  Links
+        *into* a dead FA (FE down-links, host up-links) belong to its
+        neighbors; the fault injector fails the fabric-side ones too.
+        """
+        self.alive = False
+        return sum(up.fail() for up in self._uplinks)
+
+    def restore(self) -> None:
+        """Bring the FA (and its uplinks) back up."""
+        self.alive = True
+        for up in self._uplinks:
+            up.restore()
+
+    # ------------------------------------------------------------------
     # Ingress: host packets in
     # ------------------------------------------------------------------
     def receive(self, payload, link: Link) -> None:
         """Dispatch arriving packets (host side) and cells (fabric side)."""
+        if not self.alive:
+            self.dead_drops += 1
+            return
         if isinstance(payload, Packet):
             self.ingress_packet(payload)
         elif isinstance(payload, Cell):

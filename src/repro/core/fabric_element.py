@@ -84,6 +84,10 @@ class FabricElement(Entity):
         self.cells_forwarded = 0
         self.cells_fci_marked = 0
         self.no_route_drops = 0
+        #: Element-death state: a failed FE neither forwards nor
+        #: advertises; cells that still reach it are counted here.
+        self.alive = True
+        self.dead_drops = 0
         # The FCI threshold is consulted once per forwarded cell; keep
         # it off the config attribute chain.
         self._fci_threshold = config.fci_threshold_cells
@@ -202,10 +206,33 @@ class FabricElement(Entity):
         self._monitor.heard(id(in_link), cell.reachable)
 
     # ------------------------------------------------------------------
+    # Failure injection (§5.10 device death)
+    # ------------------------------------------------------------------
+    def fail(self) -> int:
+        """Kill this element: every outgoing link goes down, the
+        advertiser falls silent, and arriving cells are dropped.
+
+        Returns the number of frames lost from the outgoing queues.
+        Links *into* a dead element belong to its neighbors; callers
+        that model full device death fail those too (the injector does).
+        """
+        self.alive = False
+        return sum(port.out.fail() for port in self._ports)
+
+    def restore(self) -> None:
+        """Bring the element (and its outgoing links) back up."""
+        self.alive = True
+        for port in self._ports:
+            port.out.restore()
+
+    # ------------------------------------------------------------------
     # Data path
     # ------------------------------------------------------------------
     def receive(self, payload: Cell, link: Link) -> None:
         """Handle an arriving cell (data or reachability)."""
+        if not self.alive:
+            self.dead_drops += 1
+            return
         if payload.kind is CellKind.REACHABILITY:
             self._on_reachability_cell(payload, link)
             return

@@ -8,6 +8,8 @@ Examples::
         --kinds stardust,dctcp --seeds 3 --shards 4
     python -m repro.experiments run incast --kinds stardust,tcp \
         --set n_backends=8 --set response_bytes=100000
+    python -m repro.experiments run permutation_link_failure \
+        --fabric stardust
 """
 
 from __future__ import annotations
@@ -26,9 +28,13 @@ from repro.experiments.registry import (
 )
 from repro.fabrics.registry import UnknownFabricError, fabric_names, get_fabric
 from repro.experiments.runner import run_matrix
-from repro.experiments.spec import ScenarioSpec
+from repro.experiments.spec import ScenarioSpec, kind_for_fabric
 from repro.experiments.store import ResultStore
-from repro.experiments.summarize import aggregate, format_table
+from repro.experiments.summarize import (
+    aggregate,
+    format_resilience,
+    format_table,
+)
 
 
 def _parse_value(text: str) -> Any:
@@ -51,7 +57,16 @@ def _parse_params(pairs: List[str]) -> Dict[str, Any]:
 
 def _build_matrix(args) -> List[ScenarioSpec]:
     params = _parse_params(args.set or [])
-    kinds = [k.strip() for k in args.kinds.split(",") if k.strip()]
+    if getattr(args, "fabric", None):
+        # --fabric picks registered fabrics directly (plain TCP);
+        # aliases resolve through the fabric registry.
+        kinds = [
+            kind_for_fabric(f.strip())
+            for f in args.fabric.split(",")
+            if f.strip()
+        ]
+    else:
+        kinds = [k.strip() for k in args.kinds.split(",") if k.strip()]
     base_params = dict(params)
     base_seed = base_params.pop("seed", None)
     specs = []
@@ -109,6 +124,10 @@ def cmd_run(args) -> int:
     )
     print()
     print(format_table(aggregate(results)))
+    resilience = format_resilience(results)
+    if resilience:
+        print("\nresilience:")
+        print(resilience)
     return 0
 
 
@@ -134,6 +153,11 @@ def main(argv=None) -> int:
     run.add_argument(
         "--kinds", default="stardust",
         help="comma-separated kinds (stardust,tcp,dctcp,mptcp,dcqcn)",
+    )
+    run.add_argument(
+        "--fabric", default=None,
+        help="comma-separated fabric names (stardust,push,...); "
+             "runs each under plain TCP and overrides --kinds",
     )
     run.add_argument(
         "--seeds", type=int, default=1,

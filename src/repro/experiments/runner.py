@@ -175,6 +175,7 @@ def _run_permutation(spec: ScenarioSpec, net) -> RunResult:
         "min_gbps": rates[0],
         "max_gbps": rates[-1],
         **fabric_metrics.queue_summary(),
+        **fabric_metrics.resilience_summary(),
     }
     return RunResult(
         spec_hash=spec.content_hash(),
@@ -231,6 +232,7 @@ def _run_incast(spec: ScenarioSpec, net) -> RunResult:
         "completed": result.completed,
         "all_completed": result.all_completed,
         **snapshot["end"].queue_summary(),
+        **snapshot["end"].resilience_summary(),
     }
     return RunResult(
         spec_hash=spec.content_hash(),
@@ -271,6 +273,7 @@ def _run_many_to_many(spec: ScenarioSpec, net) -> RunResult:
         "offered_flows": len(flows),
         "completed": len(fcts),
         **fabric_metrics.queue_summary(),
+        **fabric_metrics.resilience_summary(),
     }
     return RunResult(
         spec_hash=spec.content_hash(),
@@ -315,6 +318,7 @@ def _run_uniform_random(spec: ScenarioSpec, net) -> RunResult:
         "packets_received": received,
         "delivery_ratio": received / sent if sent else 0.0,
         **fabric_metrics.queue_summary(),
+        **fabric_metrics.resilience_summary(),
     }
     return RunResult(
         spec_hash=spec.content_hash(),
@@ -380,6 +384,7 @@ def _run_mixed(spec: ScenarioSpec, net) -> RunResult:
         "completed": len(fcts),
         "hosts_truncated": truncated,
         **fabric_metrics.queue_summary(),
+        **fabric_metrics.resilience_summary(),
     }
     # FCT split by size class — the paper's short-vs-long flow story.
     small = sorted(
@@ -435,6 +440,14 @@ def run_spec_with_network(spec: ScenarioSpec, hermetic: bool = True):
     if hermetic:
         reset_flow_ids()
     net = build_network(spec)
+    if spec.faults:
+        # Compile the declarative fault schedule into engine events
+        # before the workload starts; unfaulted specs skip this import
+        # entirely (the fault machinery is zero-cost when unused).
+        from repro.faults.injector import attach_plan
+        from repro.faults.plan import FaultPlan
+
+        attach_plan(FaultPlan.from_dict(spec.faults), net)
     return executor(spec, net), net
 
 

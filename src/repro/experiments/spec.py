@@ -62,6 +62,24 @@ def resolve_kind(kind: str) -> Tuple[str, str]:
         ) from None
 
 
+def kind_for_fabric(fabric_name: str) -> str:
+    """The ``kind`` preset that runs ``fabric_name`` under plain TCP.
+
+    Lets callers (the CLI's ``--fabric`` flag) pick a fabric directly;
+    aliases resolve through the fabric registry.  Scenario factories
+    take a ``kind``, and translating *before* the factory runs keeps
+    fabric-conditional config overrides correct.
+    """
+    canonical = get_fabric(fabric_name).name
+    for kind, (fabric, transport) in KIND_PRESETS.items():
+        if fabric == canonical and transport == "tcp":
+            return kind
+    raise ValueError(
+        f"no kind preset runs fabric {canonical!r}; "
+        f"presets: {sorted(KIND_PRESETS)}"
+    )
+
+
 @dataclass
 class TopologySpec:
     """A declarative topology: a kind plus its constructor parameters."""
@@ -125,6 +143,12 @@ class ScenarioSpec:
     link_rate_bps: int = gbps(10)
     mss: int = 9000 - 40
     config_overrides: Dict[str, Any] = field(default_factory=dict)
+    #: Optional fault schedule (a ``FaultPlan.to_dict()``; see
+    #: :mod:`repro.faults`).  ``None`` — the default — serializes to
+    #: *nothing*: :meth:`to_dict` omits the key, so every pre-fault
+    #: spec hash (and with it the result store and the no-fault golden
+    #: traces) is untouched by this field existing.
+    faults: Optional[Dict[str, Any]] = None
 
     def __post_init__(self) -> None:
         if isinstance(self.topology, dict):
@@ -139,13 +163,29 @@ class ScenarioSpec:
             raise ValueError("workload needs a 'kind' key")
         if self.warmup_ns < 0 or self.measure_ns <= 0:
             raise ValueError("windows must be positive")
+        if self.faults is not None:
+            from repro.faults.plan import FaultPlan
+
+            if isinstance(self.faults, FaultPlan):
+                self.faults = self.faults.to_dict()
+            else:
+                FaultPlan.from_dict(self.faults)  # validate eagerly
 
     # ------------------------------------------------------------------
     # Serialization
     # ------------------------------------------------------------------
     def to_dict(self) -> Dict[str, Any]:
-        """A plain-dict form that round-trips through JSON."""
-        return asdict(self)
+        """A plain-dict form that round-trips through JSON.
+
+        An unset fault plan is omitted entirely, so unfaulted specs
+        keep the exact content hashes they had before fault injection
+        existed (the result-store cache and golden traces depend on
+        that stability).
+        """
+        data = asdict(self)
+        if data.get("faults") is None:
+            del data["faults"]
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "ScenarioSpec":

@@ -103,6 +103,41 @@ def aggregate(results: Sequence[RunResult]) -> List[GroupSummary]:
     return rows
 
 
+def format_resilience(results: Sequence[RunResult]) -> str:
+    """One line per faulted run: measured recovery next to Appendix E.
+
+    Empty string when no result carries a resilience section, so
+    unfaulted sweeps print exactly what they always printed.
+    """
+    lines = []
+    for r in results:
+        m = r.metrics
+        if "faults_injected" not in m:
+            continue
+        recovery = m.get("measured_recovery_ns", 0)
+        parts = [
+            f"{r.fabric}+{r.transport} s{r.seed}:",
+            f"faults={m['faults_injected']}",
+            "recovery="
+            + ("none-within-run" if recovery < 0 else f"{recovery / 1e3:.0f}us"),
+        ]
+        if "protocol_detect_ns" in m:
+            parts.append(f"detect={m['protocol_detect_ns'] / 1e3:.0f}us")
+        if "analytical_recovery_ns" in m:
+            parts.append(
+                f"analytical={m['analytical_recovery_ns'] / 1e3:.0f}us"
+            )
+        parts.append(
+            f"dip={m.get('dip_depth', 0):.0%}"
+            f"/{m.get('dip_duration_ns', 0) / 1e3:.0f}us"
+        )
+        parts.append(f"lost_in_transit={m.get('frames_lost_in_transit', 0)}")
+        if m.get("blackholed_flows"):
+            parts.append(f"blackholed_flows={m['blackholed_flows']}")
+        lines.append("  ".join(parts))
+    return "\n".join(lines)
+
+
 def format_table(rows: Sequence[GroupSummary]) -> str:
     """Render group summaries as an aligned text table."""
     lines = [

@@ -17,8 +17,8 @@ the same contract:
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from dataclasses import dataclass
-from typing import ClassVar, Dict, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, ClassVar, Dict, List, Optional, Tuple
 
 from repro.fabrics.wiring import WiringPlan, build_wiring_plan
 from repro.net.addressing import PortAddress
@@ -27,6 +27,9 @@ from repro.sim.entity import Entity
 from repro.sim.link import Link
 from repro.sim.stats import Histogram
 from repro.sim.units import gbps
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.metrics import ResilienceMetrics
 
 
 @dataclass
@@ -55,6 +58,10 @@ class FabricMetrics:
     fabric_drops: int
     #: Bytes handed to hosts across all edge egress ports.
     delivered_bytes: int
+    #: Resilience section: filled in only when a fault injector is
+    #: attached to the network (see :mod:`repro.faults`); ``None`` on
+    #: unfaulted runs, so the historical metrics shape is untouched.
+    resilience: Optional["ResilienceMetrics"] = field(default=None)
 
     @property
     def total_drops(self) -> int:
@@ -70,6 +77,12 @@ class FabricMetrics:
             f"queue_mean_{unit}": self.queue_depth.mean(),
             f"queue_p99_{unit}": self.queue_depth.pct(99),
         }
+
+    def resilience_summary(self) -> Dict[str, float]:
+        """Flat resilience entries for result metrics ({} if unfaulted)."""
+        if self.resilience is None:
+            return {}
+        return self.resilience.summary()
 
 
 class FabricNetwork(ABC):
@@ -91,6 +104,8 @@ class FabricNetwork(ABC):
         self.sim = sim or Simulator()
         self.plan: WiringPlan = build_wiring_plan(spec)
         self._host_sinks: Dict[PortAddress, Entity] = {}
+        #: Set by :meth:`attach_faults`; ``None`` on unfaulted runs.
+        self.fault_injector = None
         self._build(self.plan)
 
     # ------------------------------------------------------------------
@@ -189,9 +204,60 @@ class FabricNetwork(ABC):
     def stop(self) -> None:
         """Stop all periodic device tasks (teardown; default: none)."""
 
-    @abstractmethod
     def collect_metrics(self) -> FabricMetrics:
-        """The fabric's typed metrics snapshot (cumulative since t=0)."""
+        """The fabric's typed metrics snapshot (cumulative since t=0).
+
+        Subclasses implement :meth:`_collect_metrics`; when a fault
+        injector is attached its resilience section is stamped onto the
+        snapshot here, fabric-agnostically.
+        """
+        metrics = self._collect_metrics()
+        if self.fault_injector is not None:
+            metrics.resilience = self.fault_injector.resilience_metrics()
+        return metrics
+
+    @abstractmethod
+    def _collect_metrics(self) -> FabricMetrics:
+        """Build the fabric-specific :class:`FabricMetrics` snapshot."""
+
+    # ------------------------------------------------------------------
+    # Fault surface (see repro.faults)
+    # ------------------------------------------------------------------
+    def attach_faults(self, injector) -> None:
+        """Register the fault injector whose resilience metrics ride
+        this network's :meth:`collect_metrics` snapshots."""
+        if self.fault_injector is not None:
+            raise ValueError("a fault injector is already attached")
+        self.fault_injector = injector
+
+    def edge_devices(self) -> List[Entity]:
+        """Edge devices (FAs / ToRs) in attachment order.
+
+        Part of the fault surface: fabrics that support fault
+        injection override this plus :meth:`fabric_devices`,
+        :meth:`edge_uplinks` and :meth:`fabric_links`.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not expose a fault surface"
+        )
+
+    def fabric_devices(self) -> List[Entity]:
+        """Fabric elements/switches in wiring-plan (tier-major) order."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not expose a fault surface"
+        )
+
+    def edge_uplinks(self, index: int) -> List[Link]:
+        """Edge device ``index``'s fabric-facing links, in wiring order."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not expose a fault surface"
+        )
+
+    def fabric_links(self) -> List[Link]:
+        """Every fabric-side simplex link (host links excluded)."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not expose a fault surface"
+        )
 
     def fabric_drop_count(self) -> int:
         """Loss inside the fabric proper, as a cheap counter read.

@@ -152,9 +152,33 @@ class PushFabricNetwork(FabricNetwork):
         tor.add_port(to_host, "host", host_port_index=address.port)
 
     # ------------------------------------------------------------------
+    # Fault surface (see repro.faults)
+    # ------------------------------------------------------------------
+    def edge_devices(self) -> List[EthernetSwitch]:
+        """ToR switches, in edge-id order."""
+        return list(self.tors)
+
+    def fabric_devices(self) -> List[EthernetSwitch]:
+        """Fabric switches in wiring-plan order (tier 1 first)."""
+        return list(self.fabric)
+
+    def edge_uplinks(self, index: int) -> List[Link]:
+        """ToR ``index``'s uplinks toward the first fabric tier."""
+        return [p.out for p in self.tors[index].up_ports]
+
+    def fabric_links(self) -> List[Link]:
+        """Every fabric-side simplex link (host ports excluded)."""
+        return [
+            p.out
+            for sw in (*self.tors, *self.fabric)
+            for p in sw.eth_ports
+            if p.direction != "host"
+        ]
+
+    # ------------------------------------------------------------------
     # Metrics
     # ------------------------------------------------------------------
-    def collect_metrics(self) -> FabricMetrics:
+    def _collect_metrics(self) -> FabricMetrics:
         """The unified metrics snapshot (queue depths are in bytes).
 
         The push fabric stamps no cells, so the latency histograms stay
@@ -176,12 +200,18 @@ class PushFabricNetwork(FabricNetwork):
         return self.edge_drops() + self.fabric_drops()
 
     def edge_drops(self) -> int:
-        """Packets dropped at ToR (edge) queues."""
-        return sum(s.dropped for s in self.tors)
+        """Packets lost at ToRs: queue drops, blackholed ECMP paths
+        and dead-device drops (the latter two only under faults)."""
+        return sum(
+            s.dropped + s.blackholed + s.dead_drops for s in self.tors
+        )
 
     def fabric_drops(self) -> int:
-        """Packets dropped in the fabric proper (§5.2's complaint)."""
-        return sum(s.dropped for s in self.fabric)
+        """Packets lost in the fabric proper (§5.2's complaint):
+        queue drops plus fault-induced blackholing/device death."""
+        return sum(
+            s.dropped + s.blackholed + s.dead_drops for s in self.fabric
+        )
 
     def fabric_drop_count(self) -> int:
         """Cheap counter read of in-fabric loss (no histogram merges)."""

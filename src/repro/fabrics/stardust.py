@@ -59,12 +59,20 @@ class StardustNetwork(FabricNetwork):
         cell_bytes: int = 512,
         cell_header_bytes: int = 16,
         sim: Optional[Simulator] = None,
+        reachability: str = "static",
+        converge_ns: Optional[int] = None,
         **overrides,
     ) -> "StardustNetwork":
         """A Stardust fabric at benchmark scale.
 
         512B cells / 4KB credits follow the paper's own htsim shortcut
         ("intended to reduce simulation time", Appendix G).
+        ``reachability='dynamic'`` runs the live protocol — failure
+        scenarios use it so the fabric heals itself at protocol speed.
+        Dynamic mode pre-runs the simulation for ``converge_ns``
+        (default: 10 advertisement periods; 0 disables) so experiments
+        start on a *converged* fabric — workloads measure failure
+        response, not boot transients.
         """
         kwargs = dict(
             fabric_link_rate_bps=rate,
@@ -73,7 +81,16 @@ class StardustNetwork(FabricNetwork):
             cell_header_bytes=cell_header_bytes,
         )
         kwargs.update(overrides)  # explicit overrides win, even for cells
-        return cls(topology, config=StardustConfig(**kwargs), sim=sim)
+        net = cls(
+            topology, config=StardustConfig(**kwargs), sim=sim,
+            reachability=reachability,
+        )
+        if reachability == "dynamic":
+            if converge_ns is None:
+                converge_ns = 10 * net.config.reachability_period_ns
+            if converge_ns:
+                net.sim.run_for(converge_ns)
+        return net
 
     # ------------------------------------------------------------------
     # Topology construction (plan replay)
@@ -213,7 +230,29 @@ class StardustNetwork(FabricNetwork):
         for fe in self.fes:
             fe.stop()
 
-    def collect_metrics(self) -> FabricMetrics:
+    # ------------------------------------------------------------------
+    # Fault surface (see repro.faults)
+    # ------------------------------------------------------------------
+    def edge_devices(self) -> List[FabricAdapter]:
+        """Fabric Adapters, in edge-id order."""
+        return list(self.fas)
+
+    def fabric_devices(self) -> List[FabricElement]:
+        """Fabric Elements in wiring-plan order (tier 1 first)."""
+        return list(self.fes)
+
+    def edge_uplinks(self, index: int) -> List[Link]:
+        """FA ``index``'s uplinks toward the first FE tier."""
+        return self.fas[index].uplinks
+
+    def fabric_links(self) -> List[Link]:
+        """Every fabric-side simplex link: FA->FE plus all FE ports
+        (which covers FE->FA and both FE<->FE directions)."""
+        links = [up for fa in self.fas for up in fa.uplinks]
+        links.extend(p.out for fe in self.fes for p in fe.fabric_ports)
+        return links
+
+    def _collect_metrics(self) -> FabricMetrics:
         """The unified metrics snapshot (queue depths are in cells)."""
         return FabricMetrics(
             fabric=self.fabric_name,
@@ -248,8 +287,9 @@ class StardustNetwork(FabricNetwork):
         return merged
 
     def fabric_cell_drops(self) -> int:
-        """Cells lost inside the fabric (must be zero: lossless, §5.5)."""
-        return sum(fe.no_route_drops for fe in self.fes)
+        """Cells lost inside the fabric (must be zero: lossless, §5.5 —
+        except under injected element death, which is honest loss)."""
+        return sum(fe.no_route_drops + fe.dead_drops for fe in self.fes)
 
     def fabric_drop_count(self) -> int:
         """Cheap counter read of in-fabric loss (no histogram merges)."""

@@ -1,0 +1,249 @@
+"""Declarative fault plans: failure as experiment input, not test code.
+
+A :class:`FaultPlan` is a JSON-serializable schedule of fault events —
+link down/up, fabric-element and edge-device (FA/ToR) death and
+revival, degraded-rate intervals and seeded random fault storms —
+attached to a :class:`~repro.experiments.spec.ScenarioSpec` and
+compiled by :class:`~repro.faults.injector.FaultInjector` into
+engine-scheduled events against whichever fabric the spec built.
+
+Targets are *topology coordinates*, not device object references, so
+the same plan drives the Stardust cell fabric and the push/ECMP
+baseline (the §5.10 graceful-degradation-vs-blackholing comparison
+needs exactly that):
+
+* ``edge``/``uplink`` name edge device *i*'s fabric uplink *j* — both
+  directions of the duplex link are failed/restored together;
+* ``element`` indexes the fabric-element row in wiring-plan order
+  (tier-1 first), mapping to a Fabric Element or a fabric Ethernet
+  switch;
+* ``edge`` alone (``edge_down``/``edge_up``) kills a whole FA/ToR.
+
+Plans with the same content always serialize to the same JSON, so a
+faulted spec's content hash — and therefore its golden trace — is as
+stable as an unfaulted one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+#: Event kinds that disrupt the fabric (their ``at_ns`` marks the start
+#: of an outage the resilience metrics measure recovery from).
+DISRUPTIVE_KINDS = (
+    "link_down", "element_down", "edge_down", "degrade", "random_storm",
+)
+#: Event kinds that end an outage.
+RESTORING_KINDS = ("link_up", "element_up", "edge_up")
+
+KNOWN_KINDS = DISRUPTIVE_KINDS + RESTORING_KINDS
+
+#: Per-kind required fields (beyond ``kind`` and ``at_ns``).
+_REQUIRED: Dict[str, tuple] = {
+    "link_down": ("edge", "uplink"),
+    "link_up": ("edge", "uplink"),
+    "element_down": ("element",),
+    "element_up": ("element",),
+    "edge_down": ("edge",),
+    "edge_up": ("edge",),
+    "degrade": ("edge", "uplink", "until_ns", "factor"),
+    "random_storm": ("seed", "count", "until_ns", "downtime_ns"),
+}
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault action (JSON round-trippable).
+
+    Unused fields stay ``None`` and are dropped from the serialized
+    form, so two plans differing only in irrelevant ``None`` fields
+    hash identically.
+    """
+
+    kind: str
+    #: When the action fires, in ns *after the injector arms* — i.e.
+    #: relative to workload start, so a fabric that pre-ran (protocol
+    #: convergence) keeps fault times aligned with the experiment.
+    at_ns: int
+    edge: Optional[int] = None
+    uplink: Optional[int] = None
+    element: Optional[int] = None
+    #: End of a ``degrade`` interval or ``random_storm`` window.
+    until_ns: Optional[int] = None
+    #: ``degrade``: surviving fraction of the link rate, in (0, 1].
+    factor: Optional[float] = None
+    #: ``random_storm``: dedicated RNG seed (independent of the
+    #: scenario seed, so the same storm can ride different workloads).
+    seed: Optional[int] = None
+    #: ``random_storm``: number of link failures to inject.
+    count: Optional[int] = None
+    #: ``random_storm``: how long each failed link stays down.
+    downtime_ns: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in KNOWN_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; "
+                f"known: {sorted(KNOWN_KINDS)}"
+            )
+        if self.at_ns < 0:
+            raise ValueError(f"at_ns must be >= 0, got {self.at_ns}")
+        missing = [
+            name for name in _REQUIRED[self.kind]
+            if getattr(self, name) is None
+        ]
+        if missing:
+            raise ValueError(
+                f"{self.kind} event needs {', '.join(missing)}"
+            )
+        for name in ("edge", "uplink", "element"):
+            value = getattr(self, name)
+            if value is not None and value < 0:
+                # Negative coordinates would silently resolve through
+                # Python's negative indexing onto the *wrong* device.
+                raise ValueError(
+                    f"{name} must be >= 0, got {value}"
+                )
+        if self.until_ns is not None and self.until_ns <= self.at_ns:
+            raise ValueError(
+                f"until_ns ({self.until_ns}) must be after "
+                f"at_ns ({self.at_ns})"
+            )
+        if self.factor is not None and not 0 < self.factor <= 1:
+            raise ValueError(
+                f"degrade factor must be in (0, 1], got {self.factor}"
+            )
+        if self.count is not None and self.count < 1:
+            raise ValueError("storm count must be >= 1")
+        if self.downtime_ns is not None and self.downtime_ns <= 0:
+            raise ValueError("storm downtime_ns must be positive")
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain dict with ``None`` fields dropped (canonical form)."""
+        data = {"kind": self.kind, "at_ns": self.at_ns}
+        for name in (
+            "edge", "uplink", "element", "until_ns", "factor", "seed",
+            "count", "downtime_ns",
+        ):
+            value = getattr(self, name)
+            if value is not None:
+                data[name] = value
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FaultEvent":
+        """Rebuild from :meth:`to_dict` output (validates)."""
+        return cls(**data)
+
+
+# ----------------------------------------------------------------------
+# Convenience constructors (the scenario builders' vocabulary)
+# ----------------------------------------------------------------------
+
+
+def link_down(at_ns: int, edge: int, uplink: int) -> FaultEvent:
+    """Fail both directions of edge ``edge``'s fabric uplink ``uplink``."""
+    return FaultEvent("link_down", at_ns, edge=edge, uplink=uplink)
+
+
+def link_up(at_ns: int, edge: int, uplink: int) -> FaultEvent:
+    """Restore both directions of an uplink failed by :func:`link_down`."""
+    return FaultEvent("link_up", at_ns, edge=edge, uplink=uplink)
+
+
+def element_down(at_ns: int, element: int) -> FaultEvent:
+    """Kill fabric element ``element`` (wiring-plan order): device death."""
+    return FaultEvent("element_down", at_ns, element=element)
+
+
+def element_up(at_ns: int, element: int) -> FaultEvent:
+    """Revive a fabric element killed by :func:`element_down`."""
+    return FaultEvent("element_up", at_ns, element=element)
+
+
+def edge_down(at_ns: int, edge: int) -> FaultEvent:
+    """Kill edge device ``edge`` (FA/ToR death)."""
+    return FaultEvent("edge_down", at_ns, edge=edge)
+
+
+def edge_up(at_ns: int, edge: int) -> FaultEvent:
+    """Revive an edge device killed by :func:`edge_down`."""
+    return FaultEvent("edge_up", at_ns, edge=edge)
+
+
+def degrade(
+    at_ns: int, until_ns: int, edge: int, uplink: int, factor: float
+) -> FaultEvent:
+    """Run an uplink at ``factor`` of its rate over [at_ns, until_ns)."""
+    return FaultEvent(
+        "degrade", at_ns, edge=edge, uplink=uplink,
+        until_ns=until_ns, factor=factor,
+    )
+
+
+def random_storm(
+    at_ns: int, until_ns: int, seed: int, count: int, downtime_ns: int
+) -> FaultEvent:
+    """``count`` seeded random uplink failures in [at_ns, until_ns),
+    each healed ``downtime_ns`` later."""
+    return FaultEvent(
+        "random_storm", at_ns, until_ns=until_ns, seed=seed,
+        count=count, downtime_ns=downtime_ns,
+    )
+
+
+@dataclass
+class FaultPlan:
+    """A schedule of fault events plus resilience-measurement knobs."""
+
+    events: List[FaultEvent] = field(default_factory=list)
+    #: Throughput sampling period for the recovery-time measurement.
+    #: Sampling only happens on faulted runs, so unfaulted runs stay
+    #: event-for-event identical to a build without this subsystem.
+    sample_period_ns: int = 20_000
+    #: A post-fault sample counts as recovered once the delivered rate
+    #: is back above this fraction of the pre-fault baseline.
+    recovery_fraction: float = 0.9
+    #: Pre-fault samples averaged into the baseline rate.
+    baseline_samples: int = 8
+
+    def __post_init__(self) -> None:
+        self.events = [
+            e if isinstance(e, FaultEvent) else FaultEvent.from_dict(e)
+            for e in self.events
+        ]
+        if not self.events:
+            raise ValueError("a fault plan needs at least one event")
+        if not any(e.kind in DISRUPTIVE_KINDS for e in self.events):
+            raise ValueError(
+                "a fault plan needs at least one disruptive event "
+                f"(one of {sorted(DISRUPTIVE_KINDS)})"
+            )
+        if self.sample_period_ns <= 0:
+            raise ValueError("sample_period_ns must be positive")
+        if not 0 < self.recovery_fraction <= 1:
+            raise ValueError("recovery_fraction must be in (0, 1]")
+        if self.baseline_samples < 1:
+            raise ValueError("baseline_samples must be >= 1")
+
+    # ------------------------------------------------------------------
+    def first_fault_ns(self) -> int:
+        """When the first disruptive event strikes."""
+        return min(
+            e.at_ns for e in self.events if e.kind in DISRUPTIVE_KINDS
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Canonical plain-dict form (stored inside ``ScenarioSpec``)."""
+        return {
+            "events": [e.to_dict() for e in self.events],
+            "sample_period_ns": self.sample_period_ns,
+            "recovery_fraction": self.recovery_fraction,
+            "baseline_samples": self.baseline_samples,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FaultPlan":
+        """Rebuild (and validate) a plan from :meth:`to_dict` output."""
+        return cls(**data)

@@ -84,6 +84,24 @@ def golden_specs() -> List[ScenarioSpec]:
             "incast", kind="stardust", n_backends=3,
             response_bytes=50 * KB, timeout_ns=5 * MILLISECOND,
         ),
+        # Faulted cells: failure experiments must be exactly as
+        # reproducible as healthy ones, on both fabrics.  The stardust
+        # cell runs the live reachability protocol (self-healing path);
+        # the push cell models delayed ECMP rehash (blackholing path).
+        build_scenario(
+            "permutation_link_failure", kind="stardust",
+            topology=_TWO_TIER, fail_at_ns=300 * MICROSECOND,
+            downtime_ns=200 * MICROSECOND, **_PERM_WINDOWS,
+        ),
+        build_scenario(
+            "permutation_link_failure", kind="tcp",
+            topology=_TWO_TIER, fail_at_ns=300 * MICROSECOND,
+            downtime_ns=200 * MICROSECOND, **_PERM_WINDOWS,
+        ),
+        build_scenario(
+            "incast_element_failure", kind="stardust", n_backends=3,
+            response_bytes=50 * KB, timeout_ns=5 * MILLISECOND,
+        ),
     ]
     return specs
 

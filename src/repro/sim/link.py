@@ -47,6 +47,7 @@ class Link:
         "_queue", "_queued_bytes", "_busy", "_serializing", "_in_flight",
         "_tx_ns", "tx_frames", "tx_bytes", "peak_queue_bytes",
         "peak_queue_frames", "on_transmit", "on_idle",
+        "dropped_frames", "dropped_bytes", "failed_at_ns",
     )
 
     def __init__(
@@ -91,6 +92,16 @@ class Link:
         self.tx_bytes = 0
         self.peak_queue_bytes = 0
         self.peak_queue_frames = 0
+        #: Frames lost to failure: queued at fail() time, serialized
+        #: into a dead link, or in flight when the link went down.
+        #: ``dropped_bytes`` counts the sizes where they are known
+        #: (queued + serializing; pure-propagation losses only have the
+        #: payload, so they count frames but not bytes).
+        self.dropped_frames = 0
+        self.dropped_bytes = 0
+        #: Simulation time of the most recent fail() (0 = never failed).
+        #: Consumers model detection/rehash lag relative to this.
+        self.failed_at_ns = 0
 
         # Hooks: on_transmit(payload) fires when serialization starts
         # (Fabric Elements stamp FCI there); on_idle() fires when the
@@ -180,6 +191,12 @@ class Link:
             if self._queue:
                 self._start_next()
                 return
+        else:
+            # Serialization finished into a dead link: the frame is
+            # lost, and it must be *counted* as lost, not silently
+            # dropped (fault-injection accounting).
+            self.dropped_frames += 1
+            self.dropped_bytes += size
         self._busy = False
         if self.on_idle is not None and not self._queue:
             self.on_idle()
@@ -188,6 +205,10 @@ class Link:
         payload = self._in_flight.popleft()
         if self.up:
             self.dst.receive(payload, self)
+        else:
+            # The link died while the frame was propagating: lost in
+            # flight (size unknown here; frames only).
+            self.dropped_frames += 1
 
     # ------------------------------------------------------------------
     # Failure injection
@@ -196,9 +217,14 @@ class Link:
         """Take the link down, dropping everything queued and in flight.
 
         Returns the number of frames lost from the transmit queue.
+        Frames mid-serialization or mid-propagation are counted into
+        :attr:`dropped_frames` when their events fire (still down).
         """
         self.up = False
+        self.failed_at_ns = self.sim.now
         lost = len(self._queue)
+        self.dropped_frames += lost
+        self.dropped_bytes += self._queued_bytes
         self._queue.clear()
         self._queued_bytes = 0
         return lost
@@ -207,6 +233,18 @@ class Link:
         """Bring the link back up (queue starts empty)."""
         self.up = True
         self._busy = False
+
+    def set_rate(self, rate_bps: int) -> None:
+        """Change the serialization rate (degraded-operation intervals).
+
+        Takes effect from the next frame to start serializing; the
+        memoized per-size serialization times are recomputed lazily.
+        """
+        if rate_bps <= 0:
+            raise ValueError(f"rate must be positive, got {rate_bps}")
+        if rate_bps != self.rate_bps:
+            self.rate_bps = rate_bps
+            self._tx_ns = {}
 
 
 def duplex(

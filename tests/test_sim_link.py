@@ -167,3 +167,99 @@ def test_50g_link_timing():
     link.send("cell", 256)  # 2048 bits at 50 Gbps => 41 ns (rounded up)
     sim.run()
     assert dst.received[0][0] == 41
+
+
+class TestFailureLossAccounting:
+    """Link.fail() must *count* every frame it kills — queued, being
+    serialized, or propagating — not silently drop them (the fault
+    subsystem's loss metrics are built from these counters)."""
+
+    def test_fail_counts_queued_frames_and_bytes(self):
+        sim = Simulator()
+        link, dst = make_link(sim, rate_bps=GBPS)
+        for i in range(4):
+            link.send(f"f{i}", 1000)  # f0 serializing, f1-f3 queued
+        lost = link.fail()
+        assert lost == 3
+        assert link.dropped_frames == 3
+        assert link.dropped_bytes == 3000
+        assert link.failed_at_ns == sim.now
+
+    def test_fail_during_serialization_counts_the_inflight_frame(self):
+        sim = Simulator()
+        link, dst = make_link(sim, rate_bps=GBPS)  # 8 ns/byte
+        link.send("dying", 1000)  # completes at t=8000
+        sim.schedule(100, link.fail)
+        sim.run()
+        assert dst.received == []
+        # Counted when the serialization event fired into a dead link.
+        assert link.dropped_frames == 1
+        assert link.dropped_bytes == 1000
+        assert link.tx_frames == 1  # it *was* serialized...
+        assert dst.received == []  # ...but never delivered
+
+    def test_fail_during_propagation_counts_the_inflight_frame(self):
+        sim = Simulator()
+        link, dst = make_link(sim, rate_bps=GBPS, prop=5000)
+        link.send("wire", 125)  # serialized at 1000, delivered at 6000
+        sim.schedule(2000, link.fail)  # dies mid-propagation
+        sim.run()
+        assert dst.received == []
+        assert link.dropped_frames == 1  # bytes unknown at delivery
+
+    def test_restore_before_completion_still_delivers_uncounted(self):
+        # The pre-fail frame whose completion fires after restore() is
+        # delivered (existing semantics) and must NOT count as lost.
+        sim = Simulator()
+        link, dst = make_link(sim, rate_bps=GBPS)
+        link.send("BIG", 10_000)  # completes at t=80000
+        sim.schedule(100, link.fail)
+        sim.schedule(500, link.restore)
+        sim.run()
+        assert [p for _, p in dst.received] == ["BIG"]
+        assert link.dropped_frames == 0
+        assert link.dropped_bytes == 0
+
+    def test_loss_counters_survive_fail_restore_cycles(self):
+        sim = Simulator()
+        link, dst = make_link(sim, rate_bps=GBPS)
+        link.send("a", 1000)
+        link.fail()  # "a" mid-serialization: counted when event fires
+        sim.run()
+        link.restore()
+        link.send("b", 500)
+        sim.run()
+        link.send("c", 500)
+        link.send("d", 500)
+        link.fail()  # "c" serializing (counted on event), "d" queued
+        sim.run()
+        assert [p for _, p in dst.received] == ["b"]
+        assert link.dropped_frames == 3
+        assert link.dropped_bytes == 2000
+
+
+class TestDegradedRate:
+    def test_set_rate_changes_future_serializations(self):
+        sim = Simulator()
+        link, dst = make_link(sim, rate_bps=GBPS)  # 8 ns/byte
+        link.send("fast", 125)  # 1000 ns
+        sim.run()
+        link.set_rate(GBPS // 2)  # 16 ns/byte
+        link.send("slow", 125)  # 2000 ns
+        sim.run()
+        assert dst.received == [(1000, "fast"), (3000, "slow")]
+
+    def test_set_rate_rejects_nonpositive(self):
+        sim = Simulator()
+        link, _ = make_link(sim)
+        with pytest.raises(ValueError):
+            link.set_rate(0)
+
+    def test_set_rate_same_value_keeps_memo(self):
+        sim = Simulator()
+        link, dst = make_link(sim, rate_bps=GBPS)
+        link.send("x", 125)
+        sim.run()
+        memo = link._tx_ns
+        link.set_rate(GBPS)
+        assert link._tx_ns is memo  # unchanged rate: no memo rebuild
