@@ -36,6 +36,14 @@ class VoqId:
     def __post_init__(self) -> None:
         if self.priority < 0:
             raise ValueError("priority must be non-negative")
+        # VOQ ids key every hot dict on the path (VOQ tables, scheduler
+        # demand books, reassembly contexts); cache the hash once at
+        # construction.  Same value the generated dataclass __hash__
+        # would produce, so hash-ordered structures are unaffected.
+        object.__setattr__(self, "_hash", hash((self.dst, self.priority)))
+
+    def __hash__(self) -> int:
+        return self._hash
 
     def __str__(self) -> str:
         return f"{self.dst}/tc{self.priority}"
@@ -59,9 +67,15 @@ class CellFragment:
 _cell_ids = itertools.count()
 
 
-@dataclass
+@dataclass(slots=True)
 class Cell:
-    """One fabric cell (data or reachability)."""
+    """One fabric cell (data or reachability).
+
+    ``slots=True`` matters here: cells are created per ~payload-size
+    bytes of traffic and their attributes are read at every hop, so
+    dict-free instances shave both construction and access costs on the
+    hottest object in the simulation.
+    """
 
     kind: CellKind
     dst_fa: DeviceId
@@ -77,6 +91,7 @@ class Cell:
     # and the sender's identity (used by the protocol only).
     reachable: Optional[frozenset] = None
     sender: Optional[DeviceId] = None
+    _payload_bytes: int = field(init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.header_bytes < 0:
@@ -86,6 +101,42 @@ class Cell:
         # Fragments never change after construction, but size_bytes is
         # read at every hop (spray, FCI check, link send) — memoize.
         self._payload_bytes = sum(f.nbytes for f in self.fragments)
+
+    @classmethod
+    def data(
+        cls,
+        dst_fa: DeviceId,
+        src_fa: DeviceId,
+        header_bytes: int,
+        voq: VoqId,
+        seq: int,
+        fragments: Tuple[CellFragment, ...],
+        created_ns: int,
+        payload_bytes: int,
+    ) -> "Cell":
+        """Fast constructor for DATA cells — the hot per-cell allocation.
+
+        The packing layer creates one cell per ~payload-size bytes of
+        traffic and already knows the payload sum and that a VOQ id is
+        present, so this skips the dataclass ``__init__`` defaults
+        machinery and ``__post_init__`` validation.  Must assign every
+        slot the dataclass declares.
+        """
+        cell = cls.__new__(cls)
+        cell.kind = CellKind.DATA
+        cell.dst_fa = dst_fa
+        cell.src_fa = src_fa
+        cell.header_bytes = header_bytes
+        cell.voq = voq
+        cell.seq = seq
+        cell.fragments = fragments
+        cell.fci = False
+        cell.created_ns = created_ns
+        cell.cell_id = next(_cell_ids)
+        cell.reachable = None
+        cell.sender = None
+        cell._payload_bytes = payload_bytes
+        return cell
 
     @property
     def payload_bytes(self) -> int:

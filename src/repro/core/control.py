@@ -92,4 +92,7 @@ class ControlPlane:
             raise KeyError(f"no control endpoint for fa {dst}")
         self.messages_sent += 1
         delay = self._delay_fn(src, dst)
-        self.sim.schedule(delay, lambda: endpoint.on_control(message))
+        # Fire-and-forget fast path: control messages are never
+        # cancelled, so they ride the engine's calendar wheel instead
+        # of allocating an Event handle on the spill heap.
+        self.sim.call_later(delay, lambda: endpoint.on_control(message))

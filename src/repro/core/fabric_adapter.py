@@ -80,6 +80,13 @@ class FabricAdapter(Entity):
         self._uplinks: List[Link] = []
         self._uplink_reach: Dict[int, frozenset] = {}
         self._static_reach = True
+        # Eligible-uplink lists memoized per destination on the
+        # simulator's topology epoch (see FabricElement._elig_cache):
+        # the static view is destination-independent, so it shares one
+        # list across all destinations.
+        self._elig_cache: Dict[DeviceId, List[Link]] = {}
+        self._elig_epoch = -1
+        self._live_uplinks: Optional[List[Link]] = None
 
         import random as _random
 
@@ -127,6 +134,7 @@ class FabricAdapter(Entity):
         """Attach a fabric uplink (out) and its reverse (inbound)."""
         self._uplinks.append(out)
         self._in_to_uplink[id(inbound)] = out
+        self.sim.topology_epoch += 1
 
     def add_host_port(self, link: Link) -> EgressPort:
         """Attach a host-facing downlink; creates its egress scheduler."""
@@ -161,7 +169,7 @@ class FabricAdapter(Entity):
             self.config.reachability_period_ns,
             self.config.reachability_up_threshold,
             self.config.reachability_miss_threshold,
-            on_change=lambda: None,
+            on_change=self._reach_changed,
         )
         for in_id in self._in_to_uplink:
             self._monitor.track(in_id)
@@ -187,10 +195,32 @@ class FabricAdapter(Entity):
             )
             up.send(cell, self.config.reachability_cell_bytes)
 
+    def _reach_changed(self) -> None:
+        """The learned reachability view moved: spoil eligible caches."""
+        self.sim.topology_epoch += 1
+
     def eligible_uplinks(self, dst_fa: DeviceId) -> List[Link]:
-        """Live uplinks that reach ``dst_fa`` (reachability view)."""
+        """Live uplinks that reach ``dst_fa`` (reachability view).
+
+        Memoized on the topology epoch; between liveness/reachability
+        changes every call returns the same list object (the spray
+        arbiter keys its walk state on that identity).
+        """
+        epoch = self.sim.topology_epoch
+        if epoch != self._elig_epoch:
+            self._elig_cache.clear()
+            self._live_uplinks = None
+            self._elig_epoch = epoch
         if self._static_reach:
-            return [u for u in self._uplinks if u.up]
+            live = self._live_uplinks
+            if live is None:
+                live = self._live_uplinks = [
+                    u for u in self._uplinks if u.up
+                ]
+            return live
+        result = self._elig_cache.get(dst_fa)
+        if result is not None:
+            return result
         assert self._monitor is not None
         result = []
         for in_id, up in self._in_to_uplink.items():
@@ -198,6 +228,7 @@ class FabricAdapter(Entity):
                 continue
             if dst_fa in self._monitor.reachable_via(in_id):
                 result.append(up)
+        self._elig_cache[dst_fa] = result
         return result
 
     # ------------------------------------------------------------------
@@ -227,15 +258,17 @@ class FabricAdapter(Entity):
         if not self.alive:
             self.dead_drops += 1
             return
-        if isinstance(payload, Packet):
-            self.ingress_packet(payload)
-        elif isinstance(payload, Cell):
+        # Cells first: an FA receives roughly one cell per ~payload-size
+        # bytes but only one packet per MTU, so this is the hot branch.
+        if isinstance(payload, Cell):
             if payload.kind is CellKind.REACHABILITY:
                 if self._monitor is not None:
                     assert payload.reachable is not None
                     self._monitor.heard(id(link), payload.reachable)
                 return
             self._egress_cell(payload)
+        elif isinstance(payload, Packet):
+            self.ingress_packet(payload)
         else:  # pragma: no cover - wiring error
             raise TypeError(f"unexpected payload {type(payload).__name__}")
 

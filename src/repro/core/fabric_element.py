@@ -64,6 +64,13 @@ class FabricElement(Entity):
         self._down_map: Dict[DeviceId, List[FabricPort]] = {}
         self._up_map: Dict[DeviceId, List[FabricPort]] = {}
         self._static_up_all = False
+        # Eligible-port lists memoized per destination, keyed on the
+        # simulator's topology epoch: between liveness/reachability
+        # changes every cell toward one FA sprays over the same list
+        # object, so the per-hop filter rebuild (and the spray
+        # arbiter's membership compare) collapses to two dict hits.
+        self._elig_cache: Dict[DeviceId, List[FabricPort]] = {}
+        self._elig_epoch = -1
 
         import random as _random
 
@@ -102,6 +109,7 @@ class FabricElement(Entity):
         port = FabricPort(neighbor=neighbor, out=out, direction=direction)
         self._ports.append(port)
         self._in_to_port[id(inbound)] = port
+        self.sim.topology_epoch += 1
         return port
 
     @property
@@ -135,6 +143,7 @@ class FabricElement(Entity):
             for d, ps in down_map.items()
         }
         self._static_up_all = up_reaches_everything
+        self.sim.topology_epoch += 1
 
     def enable_protocol(self) -> None:
         """Run the live reachability protocol (reachability='dynamic')."""
@@ -198,6 +207,7 @@ class FabricElement(Entity):
                 target.setdefault(dst, []).append(port)
         self._down_map = down
         self._up_map = up
+        self.sim.topology_epoch += 1
 
     def _on_reachability_cell(self, cell: Cell, in_link: Link) -> None:
         if self._monitor is None:
@@ -229,28 +239,19 @@ class FabricElement(Entity):
     # Data path
     # ------------------------------------------------------------------
     def receive(self, payload: Cell, link: Link) -> None:
-        """Handle an arriving cell (data or reachability)."""
+        """Handle an arriving cell (data or reachability).
+
+        This *is* the per-cell per-hop hot path (forwarding is inlined
+        rather than delegated): route lookup via the epoch-memoized
+        eligible list, spray, FCI mark, send.
+        """
         if not self.alive:
             self.dead_drops += 1
             return
         if payload.kind is CellKind.REACHABILITY:
             self._on_reachability_cell(payload, link)
             return
-        self._forward(payload)
-
-    def eligible_ports(self, dst_fa: DeviceId) -> List[FabricPort]:
-        """Live ports usable toward ``dst_fa`` (down-routes preferred)."""
-        down = [
-            p for p in self._down_map.get(dst_fa, ()) if p.out.up
-        ]
-        if down:
-            return down
-        if self._static_up_all:
-            return [p for p in self.up_ports if p.out.up]
-        return [p for p in self._up_map.get(dst_fa, ()) if p.out.up]
-
-    def _forward(self, cell: Cell) -> None:
-        dst_fa = cell.dst_fa
+        dst_fa = payload.dst_fa
         ports = self.eligible_ports(dst_fa)
         if not ports:
             self.no_route_drops += 1
@@ -260,12 +261,41 @@ class FabricElement(Entity):
         depth = out.queued_frames
         # FCI: piggyback congestion on cells leaving a congested queue.
         if depth >= self._fci_threshold:
-            cell.fci = True
+            payload.fci = True
             self.cells_fci_marked += 1
         if self.sample_down_queues and port.direction == "down":
             self.down_queue_depth.record(depth)
         self.cells_forwarded += 1
-        out.send(cell, cell.size_bytes)
+        out.send(payload, payload.size_bytes)
+
+    def eligible_ports(self, dst_fa: DeviceId) -> List[FabricPort]:
+        """Live ports usable toward ``dst_fa`` (down-routes preferred).
+
+        Memoized per destination until the topology epoch moves (a link
+        fails or recovers, a table rebuilds): repeat callers get the
+        same list object back, which the spray arbiter exploits with an
+        identity check.
+        """
+        epoch = self.sim.topology_epoch
+        cache = self._elig_cache
+        if epoch != self._elig_epoch:
+            cache.clear()
+            self._elig_epoch = epoch
+        else:
+            ports = cache.get(dst_fa)
+            if ports is not None:
+                return ports
+        down = [
+            p for p in self._down_map.get(dst_fa, ()) if p.out.up
+        ]
+        if down:
+            ports = down
+        elif self._static_up_all:
+            ports = [p for p in self.up_ports if p.out.up]
+        else:
+            ports = [p for p in self._up_map.get(dst_fa, ()) if p.out.up]
+        cache[dst_fa] = ports
+        return ports
 
     # ------------------------------------------------------------------
     def stop(self) -> None:

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from typing import Iterable, List, Sequence
 
-from repro.core.cell import Cell, CellFragment, CellKind, VoqId
+from repro.core.cell import Cell, CellFragment, VoqId
 from repro.net.packet import Packet
 
 
@@ -43,12 +43,13 @@ def pack_burst(
     cells: List[Cell] = []
     seq = first_seq
 
-    def emit(fragments: List[CellFragment]) -> None:
-        """Close the current cell and append it to the burst."""
+    def emit(fragments: List[CellFragment], filled: int) -> None:
+        """Close a cell carrying ``filled`` payload bytes (the packer
+        tracks the fill level, so the cell constructor need not re-sum
+        its fragments)."""
         nonlocal seq
         cells.append(
-            Cell(
-                kind=CellKind.DATA,
+            Cell.data(
                 dst_fa=dst_fa,
                 src_fa=src_fa,
                 header_bytes=header_bytes,
@@ -56,6 +57,7 @@ def pack_burst(
                 seq=seq,
                 fragments=tuple(fragments),
                 created_ns=created_ns,
+                payload_bytes=filled,
             )
         )
         seq += 1
@@ -73,11 +75,11 @@ def pack_burst(
                 )
                 room -= take
                 if room == 0:
-                    emit(current)
+                    emit(current, payload_bytes)
                     current = []
                     room = payload_bytes
         if current:
-            emit(current)
+            emit(current, payload_bytes - room)
     else:
         for packet in packets:
             remaining = packet.size_bytes
@@ -85,7 +87,8 @@ def pack_burst(
                 take = min(payload_bytes, remaining)
                 remaining -= take
                 emit(
-                    [CellFragment(packet, take, end_of_packet=remaining == 0)]
+                    [CellFragment(packet, take, end_of_packet=remaining == 0)],
+                    take,
                 )
 
     return cells

@@ -20,7 +20,7 @@ from repro.net.packet import Packet
 from repro.sim.engine import Simulator
 
 
-@dataclass
+@dataclass(slots=True)
 class _Context:
     """Resequencing state for one (source FA, VOQ) stream."""
 

@@ -35,11 +35,15 @@ class SprayArbiter:
         self._reshuffle_every = reshuffle_every
         self.mode = mode
         # Per destination, mutated in place:
-        # [permutation, cursor, cells_since_shuffle, last_links_snapshot].
-        # The snapshot is the eligible sequence exactly as last passed;
-        # comparing against it is a C-level identity walk, so the
-        # unchanged-set case (every cell between reachability events)
-        # skips the two set() builds the old code paid per pick.
+        # [permutation, cursor, cells_since_shuffle, last_links_seen].
+        # last_links_seen is the eligible sequence exactly as last
+        # passed.  Devices memoize their eligible lists per topology
+        # epoch, so between reachability events every pick toward a
+        # destination passes the *same object* — one identity check
+        # replaces the membership compare entirely.  A fresh-but-equal
+        # list (uncached callers) still short-circuits on the C-level
+        # equality walk, and only a real membership change pays the two
+        # set() builds and a reshuffle.
         self._state: Dict[Hashable, list] = {}
 
     def pick(self, dst: Hashable, links: Sequence[L]) -> L:
@@ -60,18 +64,19 @@ class SprayArbiter:
         if state is None:
             perm = list(links)
             self._rng.shuffle(perm)
-            state = [perm, 0, 0, list(links)]
+            state = [perm, 0, 0, links]
             self._state[dst] = state
-        elif links != state[3]:
-            # Same membership in a different order keeps the walk; a
-            # membership change (reachability update) restarts it.
-            if set(state[0]) != set(links):
-                perm = list(links)
-                self._rng.shuffle(perm)
-                state[0] = perm
-                state[1] = 0
-                state[2] = 0
-            state[3] = list(links)
+        elif links is not state[3]:
+            if links != state[3]:
+                # Same membership in a different order keeps the walk; a
+                # membership change (reachability update) restarts it.
+                if set(state[0]) != set(links):
+                    perm = list(links)
+                    self._rng.shuffle(perm)
+                    state[0] = perm
+                    state[1] = 0
+                    state[2] = 0
+            state[3] = links
         perm = state[0]
         cursor = state[1]
         link = perm[cursor]

@@ -114,23 +114,35 @@ class Voq:
         Dequeues whole packets while the balance is positive; a packet
         that overshoots leaves a deficit that future credits repay
         (§3.3).  Unused balance (queue drained) is kept as surplus.
+
+        Bookkeeping is batched: the balance runs in a local, the shared
+        pool is released once for the whole burst, counters update once
+        — nothing observes intermediate state (the loop makes no
+        callbacks), and per-grant cost is what the credit hot path pays
+        on every scheduler pump.
         """
         if credit_bytes <= 0:
             raise ValueError("credit must be positive")
-        self.credit_balance += credit_bytes
+        balance = self.credit_balance + credit_bytes
         burst: List[Packet] = []
-        while self._packets and self.credit_balance > 0:
-            packet = self._packets.popleft()
-            self._bytes -= packet.size_bytes
-            self._pool.release(packet.size_bytes)
-            self.credit_balance -= packet.size_bytes
-            self.dequeued_packets += 1
+        packets = self._packets
+        released = 0
+        while packets and balance > 0:
+            packet = packets.popleft()
+            size = packet.size_bytes
+            released += size
+            balance -= size
             burst.append(packet)
-        if not self._packets and self.credit_balance > 0:
+        if released:
+            self._bytes -= released
+            self._pool.release(released)
+            self.dequeued_packets += len(burst)
+        if not packets and balance > 0:
             # Queue drained: surplus credit is forfeited (the scheduler
             # stops granting to empty VOQs; keeping the balance would
             # let a later burst burst-out above fabric speedup).
-            self.credit_balance = 0
+            balance = 0
+        self.credit_balance = balance
         return burst
 
     def take_seq(self, count: int) -> int:

@@ -161,6 +161,60 @@ def permutation_three_tier(
     return spec.with_updates(scenario="permutation_three_tier")
 
 
+#: The cells-at-scale three-tier fabric (§5.1 writ large): 4 pods of
+#: 8 FAs under two FE tiers and a global spine row, non-blocking end to
+#: end (FA: 4x10G up for 4x10G of hosts; FE1: 80G down / 80G up;
+#: FE2: 40G / 40G), 32 FAs and 128 hosts total — roughly 20x the event
+#: rate of the default two-tier scenario.  Runs this size only became
+#: registrable once the calendar-queue engine and cell trains landed.
+THREE_TIER_LARGE_TOPOLOGY = TopologySpec(
+    "three_tier",
+    dict(
+        pods=4, fas_per_pod=8, fes1_per_pod=4, fes2_per_pod=8,
+        spines=4, hosts_per_fa=4,
+    ),
+)
+
+
+@scenario(
+    "permutation_three_tier_large",
+    "permutation at scale: 128 hosts across a non-blocking three-tier fabric",
+)
+def permutation_three_tier_large(
+    kind: str = "stardust",
+    seed: int = 7,
+    topology: TopologySpec = THREE_TIER_LARGE_TOPOLOGY,
+    warmup_ns: int = 500 * MICROSECOND,
+    measure_ns: int = 1500 * MICROSECOND,
+    **params,
+) -> ScenarioSpec:
+    spec = permutation(
+        kind=kind, seed=seed, topology=topology,
+        warmup_ns=warmup_ns, measure_ns=measure_ns, **params,
+    )
+    return spec.with_updates(scenario="permutation_three_tier_large")
+
+
+@scenario(
+    "mixed_three_tier_large",
+    "web + storage Poisson flow mix at scale on the large three-tier fabric",
+)
+def mixed_three_tier_large(
+    kind: str = "stardust",
+    seed: int = 1,
+    load: float = 0.4,
+    topology: TopologySpec = THREE_TIER_LARGE_TOPOLOGY,
+    warmup_ns: int = 500 * MICROSECOND,
+    measure_ns: int = 2 * MILLISECOND,
+    **params,
+) -> ScenarioSpec:
+    spec = mixed(
+        kind=kind, seed=seed, load=load, topology=topology,
+        warmup_ns=warmup_ns, measure_ns=measure_ns, **params,
+    )
+    return spec.with_updates(scenario="mixed_three_tier_large")
+
+
 # ----------------------------------------------------------------------
 # Failure scenarios (§5.9, §5.10): the resilience claims as experiments
 # ----------------------------------------------------------------------

@@ -25,6 +25,13 @@ class PortAddress:
             raise ValueError(f"fa id must be non-negative, got {self.fa}")
         if self.port < 0:
             raise ValueError(f"port must be non-negative, got {self.port}")
+        # Addresses sit inside every VoqId and flow key; caching the
+        # hash (same value the generated __hash__ computes) makes those
+        # nested hashes one attribute read.
+        object.__setattr__(self, "_hash", hash((self.fa, self.port)))
+
+    def __hash__(self) -> int:
+        return self._hash
 
     def __str__(self) -> str:
         return f"fa{self.fa}:p{self.port}"

@@ -12,15 +12,20 @@ Three jobs:
   (:mod:`repro.perf.digest`) recorded as golden traces
   (:mod:`repro.perf.golden`, checked by ``tests/test_golden_traces.py``).
 * **Gate** regressions: the CLI's ``--check`` fails when any bench's
-  events/sec drops more than 20% below the committed baseline.
+  events/sec drops more than 10% below the committed baseline.
+* **Profile** on demand: ``--profile N`` reruns each bench under
+  cProfile and reports the top-N cumulative hotspots
+  (``BENCH_profile.txt``), so the next perf hunt starts from data.
 """
 
 from repro.perf.bench import (
     BenchResult,
     bench_engine_cancel_churn,
     bench_engine_events,
+    bench_factories,
     bench_link_stream,
     default_permutation_spec,
+    profile_bench,
     suite,
 )
 from repro.perf.digest import diff_digests, run_digest, values_hash
@@ -34,7 +39,10 @@ from repro.perf.golden import (
 )
 
 #: A bench regresses when events/sec falls below (1 - this) x baseline.
-REGRESSION_TOLERANCE = 0.20
+#: Tightened from 20% when the calendar-queue engine raised the floor:
+#: the committed baseline is refreshed in the same change, so the gate
+#: now guards the new level, not the pre-optimization one.
+REGRESSION_TOLERANCE = 0.10
 
 __all__ = [
     "BenchResult",
@@ -42,7 +50,9 @@ __all__ = [
     "REGRESSION_TOLERANCE",
     "bench_engine_cancel_churn",
     "bench_engine_events",
+    "bench_factories",
     "bench_link_stream",
+    "profile_bench",
     "check_goldens",
     "compute_digest",
     "default_permutation_spec",

@@ -5,8 +5,9 @@ Examples::
     python -m repro.perf                     # full suite + baseline diff
     python -m repro.perf --quick             # small sizes (smoke)
     python -m repro.perf --only link         # substring filter
-    python -m repro.perf --check             # exit 1 on >20% regression
+    python -m repro.perf --check             # exit 1 on >10% regression
     python -m repro.perf --write-baseline    # refresh the committed baseline
+    python -m repro.perf --profile 25        # cProfile each bench, top 25
     python -m repro.perf golden --check      # verify golden traces
     python -m repro.perf golden --regen      # re-record golden traces
 """
@@ -20,13 +21,21 @@ from pathlib import Path
 from typing import Dict, List, Optional
 
 from repro.experiments.store import atomic_write_json
-from repro.perf import REGRESSION_TOLERANCE, BenchResult, suite
+from repro.perf import (
+    REGRESSION_TOLERANCE,
+    BenchResult,
+    bench_factories,
+    profile_bench,
+    suite,
+)
 from repro.perf.golden import DEFAULT_GOLDEN_DIR, check_goldens, write_goldens
 
-#: Where the committed reference numbers live (recorded pre-optimization).
+#: Where the committed reference numbers live.
 DEFAULT_BASELINE = Path("benchmarks") / "perf_baseline.json"
 #: Where a run's fresh numbers land (uploaded as a CI artifact).
 DEFAULT_OUT = Path("BENCH_perf.json")
+#: Where ``--profile`` writes its per-bench hotspot report.
+DEFAULT_PROFILE_OUT = Path("BENCH_profile.txt")
 
 
 def load_baseline(path: Path) -> Optional[Dict[str, dict]]:
@@ -88,7 +97,39 @@ def _fmt_table(rows: List[dict]) -> str:
     return "\n".join(lines)
 
 
+def cmd_profile(args) -> int:
+    """Run each bench under cProfile and report the top-N hotspots."""
+    factories = bench_factories(quick=args.quick, only=args.only)
+    if not factories:
+        print(f"no bench matches --only {args.only!r}", file=sys.stderr)
+        return 2
+    sections = []
+    for name, factory in factories:
+        result, report = profile_bench(factory, args.profile)
+        header = (
+            f"== {name}: {result.events:,} events, "
+            f"{result.wall_s:.2f}s under cProfile =="
+        )
+        sections.append(f"{header}\n{report}")
+        print(sections[-1])
+    out = Path(args.profile_out)
+    out.write_text("\n".join(sections))
+    print(f"profile report -> {out}")
+    return 0
+
+
 def cmd_bench(args) -> int:
+    if args.profile:
+        if args.check or args.write_baseline:
+            # Profiled timings carry tracing overhead; comparing them
+            # to an unprofiled baseline would be meaningless (and a
+            # profiled baseline would poison every later check).
+            print(
+                "--profile runs are not baseline-comparable; "
+                "ignoring --check/--write-baseline",
+                file=sys.stderr,
+            )
+        return cmd_profile(args)
     if args.quick and (args.check or args.write_baseline):
         # Quick sizes are not comparable to the full-size baseline: a
         # short run amortizes setup differently, so ratios would be
@@ -201,6 +242,16 @@ def main(argv=None) -> int:
         "--check", action="store_true",
         help=f"exit 1 if events/sec regresses more than "
              f"{REGRESSION_TOLERANCE:.0%} vs the baseline",
+    )
+    parser.add_argument(
+        "--profile", type=int, default=0, metavar="N",
+        help="run each bench under cProfile and report the top-N "
+             "cumulative hotspots (skips the baseline diff)",
+    )
+    parser.add_argument(
+        "--profile-out", default=str(DEFAULT_PROFILE_OUT),
+        help=f"where --profile writes its report "
+             f"(default {DEFAULT_PROFILE_OUT})",
     )
     sub = parser.add_subparsers(dest="command")
     golden = sub.add_parser(

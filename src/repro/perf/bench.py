@@ -188,10 +188,25 @@ def _meso_specs(quick: bool) -> List[tuple]:
         ("permutation_stardust_three_tier", "permutation_three_tier", "stardust"),
         ("permutation_push_three_tier", "permutation_three_tier", "tcp"),
     )
-    return [
+    specs = [
         (name, build_scenario(scenario, kind=kind, **windows))
         for name, scenario, kind in cells
     ]
+    # Cells at scale: 32 FAs / 128 hosts across three tiers — the run
+    # class the calendar-queue engine unlocked.  Quick mode skips it
+    # (like the headline bench) and the windows match its golden cell.
+    if not quick:
+        specs.append(
+            (
+                "permutation_three_tier_large",
+                build_scenario(
+                    "permutation_three_tier_large", kind="stardust",
+                    warmup_ns=150 * MICROSECOND,
+                    measure_ns=450 * MICROSECOND,
+                ),
+            )
+        )
+    return specs
 
 
 def default_permutation_spec() -> ScenarioSpec:
@@ -203,12 +218,15 @@ def default_permutation_spec() -> ScenarioSpec:
 # Suite
 # ----------------------------------------------------------------------
 
-def suite(
+def bench_factories(
     quick: bool = False, only: Optional[str] = None
-) -> List[BenchResult]:
-    """Run the suite in report order; ``only`` filters names by substring.
+) -> List[tuple[str, Callable[[], BenchResult]]]:
+    """The suite as (name, factory) pairs, in report order.
 
-    Quick mode shrinks sizes and drops the minutes-long headline bench.
+    ``only`` filters names by substring; quick mode shrinks sizes and
+    drops the minutes-long headline bench.  Exposed separately from
+    :func:`suite` so the CLI can wrap each bench (cProfile for
+    ``--profile``) without re-declaring the matrix.
     """
     benches: List[tuple[str, Callable[[], BenchResult]]] = [
         (
@@ -237,9 +255,38 @@ def suite(
                 ),
             )
         )
-    results = []
-    for name, factory in benches:
-        if only and only not in name:
-            continue
-        results.append(factory())
-    return results
+    if only:
+        benches = [(n, f) for n, f in benches if only in n]
+    return benches
+
+
+def suite(
+    quick: bool = False, only: Optional[str] = None
+) -> List[BenchResult]:
+    """Run the suite in report order (see :func:`bench_factories`)."""
+    return [factory() for _, factory in bench_factories(quick, only)]
+
+
+def profile_bench(
+    factory: Callable[[], BenchResult], top: int
+) -> tuple[BenchResult, str]:
+    """Run one bench under cProfile; returns (result, top-N report).
+
+    The report is the ``pstats`` cumulative-time table truncated to the
+    ``top`` hottest entries — the "where did the time go" answer that
+    used to take an ad-hoc script per perf hunt.  Profiled wall times
+    carry interpreter tracing overhead, so callers must never compare
+    them against an unprofiled baseline.
+    """
+    import cProfile
+    import io
+    import pstats
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    result = factory()
+    profiler.disable()
+    stream = io.StringIO()
+    stats = pstats.Stats(profiler, stream=stream)
+    stats.sort_stats("cumulative").print_stats(top)
+    return result, stream.getvalue()

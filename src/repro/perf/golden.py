@@ -102,6 +102,18 @@ def golden_specs() -> List[ScenarioSpec]:
             "incast_element_failure", kind="stardust", n_backends=3,
             response_bytes=50 * KB, timeout_ns=5 * MILLISECOND,
         ),
+        # Cells at scale: the two large three-tier scenarios the
+        # calendar-queue engine unlocked, pinned with windows short
+        # enough for CI but deep enough to cross the global spine row
+        # under load (~2M events for the permutation cell).
+        build_scenario(
+            "permutation_three_tier_large", kind="stardust",
+            warmup_ns=150 * MICROSECOND, measure_ns=450 * MICROSECOND,
+        ),
+        build_scenario(
+            "mixed_three_tier_large", kind="stardust",
+            warmup_ns=200 * MICROSECOND, measure_ns=800 * MICROSECOND,
+        ),
     ]
     return specs
 

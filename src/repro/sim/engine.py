@@ -1,7 +1,7 @@
 """The discrete-event engine.
 
-A :class:`Simulator` owns a priority queue of scheduled callbacks keyed
-by ``(time_ns, sequence)``.  The sequence number makes scheduling order a
+A :class:`Simulator` owns a scheduler of callbacks keyed by
+``(time_ns, sequence)``.  The sequence number makes scheduling order a
 total order, so two events at the same instant always fire in the order
 they were scheduled — determinism we rely on for reproducible benchmarks.
 
@@ -14,26 +14,41 @@ Typical use::
 Hot-path design
 ---------------
 
-Heap entries are plain ``[time_ns, seq, fn]`` lists, not objects: list
+Entries are plain ``[time_ns, seq, fn]`` lists, not objects: list
 comparison is a single C call that short-circuits on ``time_ns`` then
-``seq`` (``seq`` is unique, so ``fn`` never participates).  The earlier
-``@dataclass(order=True)`` event spent more time in its generated
-``__lt__`` than the simulation spent in device logic — ~18 comparisons
-per push/pop on a million-event heap, each building two tuples.
+``seq`` (``seq`` is unique, so ``fn`` never participates).
 
-Two scheduling surfaces share that representation:
+The scheduler is a *calendar wheel* plus a *spill heap*, replacing the
+earlier single global binary heap:
 
-* :meth:`Simulator.at` / :meth:`Simulator.schedule` return an
-  :class:`Event` handle wrapping the entry, for callers that may cancel
-  (periodic tasks, timeout guards).
-* :meth:`Simulator.schedule_at` / :meth:`Simulator.call_later` push the
-  bare entry and return nothing — the fast path for the dominant
-  link-serialization events, which are never cancelled.
+* The wheel is :data:`~Simulator.WHEEL_SLOTS` time buckets of
+  :data:`~Simulator.WHEEL_SLOT_NS` nanoseconds each.  The fast paths
+  :meth:`Simulator.schedule_at` / :meth:`Simulator.call_later` append
+  into the bucket for ``time_ns >> WHEEL_SHIFT`` in O(1) — the dominant
+  case, because link serialization and propagation events land
+  nanoseconds-to-microseconds ahead.  A bucket is sorted once, when the
+  clock enters it, and drained from the tail; inserts that land in the
+  bucket currently being drained (delays shorter than one slot) keep it
+  ordered via binary insort.
+* The spill heap takes everything else: events beyond the wheel horizon
+  and *every cancellable event* (:meth:`Simulator.at` /
+  :meth:`Simulator.schedule`).  Quarantining cancellables matters as
+  much as the O(1) inserts — an RTO-guard storm used to bloat the one
+  global heap past 10k entries, so every link event paid O(log n) on a
+  heap that was mostly corpses.  Now the corpses sit in the spill heap
+  (compacted in place when they dominate it) and the wheel stays dense
+  with live work.
 
-Cancellation stays lazy (``fn = None``; skipped when popped), but the
-engine now *accounts* for the corpses and compacts the heap in place
-when they exceed half of it, so cancel/reschedule storms cannot leak
-unbounded memory past ``run(until=...)``.
+Every pop compares the wheel head against the spill head, so the merged
+firing order is exactly the ``(time_ns, seq)`` total order of the old
+single heap — golden traces recorded against the heap engine stay
+byte-identical.
+
+:meth:`Simulator.rearm_at` re-inserts a *spent* entry (one whose event
+already fired) with a fresh sequence number and no allocation.  This is
+the primitive cell trains ride on: a link serializing k back-to-back
+cells steps one reusable entry through the wheel instead of allocating
+and heap-pushing k fresh ones (see :mod:`repro.sim.link`).
 """
 
 from __future__ import annotations
@@ -41,7 +56,38 @@ from __future__ import annotations
 import heapq
 from typing import Callable, List, Optional
 
-_INF = float("inf")
+#: "No horizon/budget" sentinel — a time/count no simulation reaches,
+#: kept as an int so the hot loop's compares stay int-vs-int.
+_NEVER = 1 << 62
+
+#: Calendar-wheel geometry — the single source of truth; the class
+#: mirrors these as documented attributes.  The hot paths load these
+#: module globals (cheaper than class-attribute lookups), so changing
+#: the wheel means changing exactly this pair.
+_WHEEL_SHIFT = 6
+_WHEEL_SLOTS = 1024
+_WHEEL_MASK = _WHEEL_SLOTS - 1
+
+
+def _insort_desc(bucket: list, entry: list) -> None:
+    """Insert ``entry`` into a descending-sorted bucket, keeping order.
+
+    The drain loop pops from the tail, so the bucket is kept largest
+    first; among equal times the fresh entry has the largest sequence
+    number and lands closest to the head (fires last).  Binary search +
+    one C-level ``insert`` beats re-sorting the bucket when sub-slot
+    delays (self-rescheduling tickers) insert into the slot currently
+    being drained on every event.
+    """
+    lo = 0
+    hi = len(bucket)
+    while lo < hi:
+        mid = (lo + hi) >> 1
+        if bucket[mid] > entry:
+            lo = mid + 1
+        else:
+            hi = mid
+    bucket.insert(lo, entry)
 
 
 class SimError(RuntimeError):
@@ -51,9 +97,9 @@ class SimError(RuntimeError):
 class Event:
     """Handle for a scheduled callback that may need cancelling.
 
-    Wraps the engine's ``[time_ns, seq, fn]`` heap entry; cancelled
-    events stay in the heap (lazy deletion) but the simulator counts
-    them and compacts when they dominate.
+    Wraps the engine's ``[time_ns, seq, fn]`` spill-heap entry;
+    cancelled events stay in the heap (lazy deletion) but the simulator
+    counts them and compacts when they dominate.
     """
 
     __slots__ = ("_sim", "_entry")
@@ -88,17 +134,50 @@ class Event:
 class Simulator:
     """Integer-nanosecond discrete event scheduler."""
 
+    #: Width of one calendar-wheel bucket.  64ns means any delay of at
+    #: least one slot can never land in the bucket currently being
+    #: drained, so mid-drain re-sorts only happen for sub-slot delays —
+    #: which imply near-empty buckets.  Derived from the module-level
+    #: ``_WHEEL_SHIFT``/``_WHEEL_SLOTS`` pair, which is what the hot
+    #: paths read — tune the wheel there, not here.
+    WHEEL_SLOT_NS = 1 << _WHEEL_SHIFT
+    WHEEL_SHIFT = _WHEEL_SHIFT
+    #: Number of wheel buckets (a power of two).  1024 x 64ns ≈ 65us of
+    #: horizon: link serialization, propagation and credit self-clock
+    #: gaps all land inside; reassembly/report timers and RTO guards
+    #: spill.
+    WHEEL_SLOTS = _WHEEL_SLOTS
+
     #: Compaction only kicks in past this many corpses — tiny heaps are
     #: cheaper to drain than to rebuild.
     COMPACT_MIN_CANCELLED = 64
 
     def __init__(self) -> None:
-        self._heap: List[list] = []
+        self._buckets: List[list] = [[] for _ in range(_WHEEL_SLOTS)]
+        #: Absolute slot index (time >> WHEEL_SHIFT) being drained.
+        #: Invariant: no live wheel entry sits in a slot before it, and
+        #: it never exceeds ``now >> WHEEL_SHIFT`` while user code runs.
+        self._cursor = 0
+        #: Live (unfired) entries in the wheel.
+        self._wheel_live = 0
+        #: Absolute index of the (unique) slot whose bucket is known to
+        #: be descending-sorted — the slot being drained.  Inserts into
+        #: it keep order via binary insort; the drain loop sorts any
+        #: bucket the cursor enters before trusting its tail.
+        self._sorted_slot = -1
+        #: Far-future and cancellable events (plus lazy-deleted corpses).
+        self._spill: List[list] = []
         self._now: int = 0
         self._seq: int = 0
         self._events_fired: int = 0
         self._cancelled: int = 0
         self._running = False
+        #: Bumped whenever link liveness or learned reachability changes
+        #: anywhere in the simulation.  Devices key their eligible-link
+        #: caches on it: unchanged epoch means the cached spray target
+        #: lists are exact, so the per-cell forwarding path skips the
+        #: list rebuild it used to pay on every hop.
+        self.topology_epoch: int = 0
 
     @property
     def now(self) -> int:
@@ -117,26 +196,45 @@ class Simulator:
     @property
     def pending(self) -> int:
         """Number of events still queued (including not-yet-compacted
-        cancelled ones; see :attr:`pending_live` for the exact count)."""
-        return len(self._heap)
+        cancelled ones; see :attr:`pending_events` for the exact count)."""
+        return self._wheel_live + len(self._spill)
 
     @property
-    def pending_live(self) -> int:
-        """Number of queued events that will actually fire."""
-        return len(self._heap) - self._cancelled
+    def pending_events(self) -> int:
+        """Number of queued events that will actually fire.
+
+        Unlike :attr:`pending` this excludes cancelled corpses awaiting
+        compaction, so it is exact regardless of compaction timing —
+        the raw structure length overcounts until a compaction pass
+        happens to run.  Also available as ``len(sim)`` and under the
+        older name :attr:`pending_live`.
+        """
+        return self._wheel_live + len(self._spill) - self._cancelled
+
+    #: Pre-existing alias for :attr:`pending_events`.
+    pending_live = pending_events
+
+    def __len__(self) -> int:
+        """Exact count of events still due to fire (no corpses)."""
+        return self._wheel_live + len(self._spill) - self._cancelled
 
     # ------------------------------------------------------------------
     # Scheduling
     # ------------------------------------------------------------------
     def at(self, time_ns: int, fn: Callable[[], None]) -> Event:
-        """Schedule ``fn`` at absolute time ``time_ns``; cancellable."""
+        """Schedule ``fn`` at absolute time ``time_ns``; cancellable.
+
+        Cancellable events always go to the spill heap, whatever their
+        firing time: lazy-deleted corpses then accumulate (and compact)
+        there, never between the wheel's live link events.
+        """
         if time_ns < self._now:
             raise SimError(
                 f"cannot schedule at t={time_ns}ns, now is {self._now}ns"
             )
         entry = [time_ns, self._seq, fn]
         self._seq += 1
-        heapq.heappush(self._heap, entry)
+        heapq.heappush(self._spill, entry)
         return Event(self, entry)
 
     def schedule(self, delay_ns: int, fn: Callable[[], None]) -> Event:
@@ -149,8 +247,8 @@ class Simulator:
         """Fast path: schedule at absolute ``time_ns``, no Event handle.
 
         For fire-and-forget events (the per-frame serialization and
-        propagation events dominating every run): skips the handle
-        allocation entirely.  Not cancellable.
+        propagation events dominating every run): near-future times are
+        one bucket append, no handle allocation.  Not cancellable.
         """
         if time_ns < self._now:
             raise SimError(
@@ -158,15 +256,67 @@ class Simulator:
             )
         seq = self._seq
         self._seq = seq + 1
-        heapq.heappush(self._heap, [time_ns, seq, fn])
+        slot = time_ns >> _WHEEL_SHIFT
+        if slot - self._cursor >= _WHEEL_SLOTS:
+            heapq.heappush(self._spill, [time_ns, seq, fn])
+        else:
+            bucket = self._buckets[slot & _WHEEL_MASK]
+            if slot == self._sorted_slot:
+                _insort_desc(bucket, [time_ns, seq, fn])
+            else:
+                bucket.append([time_ns, seq, fn])
+            self._wheel_live += 1
 
     def call_later(self, delay_ns: int, fn: Callable[[], None]) -> None:
         """Fast path: schedule ``delay_ns`` from now, no Event handle."""
         if delay_ns < 0:
             raise SimError(f"negative delay {delay_ns}")
+        time_ns = self._now + delay_ns
         seq = self._seq
         self._seq = seq + 1
-        heapq.heappush(self._heap, [self._now + delay_ns, seq, fn])
+        slot = time_ns >> _WHEEL_SHIFT
+        if slot - self._cursor >= _WHEEL_SLOTS:
+            heapq.heappush(self._spill, [time_ns, seq, fn])
+        else:
+            bucket = self._buckets[slot & _WHEEL_MASK]
+            if slot == self._sorted_slot:
+                _insort_desc(bucket, [time_ns, seq, fn])
+            else:
+                bucket.append([time_ns, seq, fn])
+            self._wheel_live += 1
+
+    def rearm_at(
+        self, time_ns: int, entry: list, fn: Callable[[], None]
+    ) -> None:
+        """Fast path: re-insert a *spent* entry at ``time_ns``.
+
+        ``entry`` must be a ``[time_ns, seq, fn]`` list whose event has
+        already fired (the engine neutralizes fired entries, so callers
+        check ``entry[2] is None``).  The entry is re-keyed with a fresh
+        sequence number — exactly the ordering a fresh ``schedule_at``
+        would get — without allocating a new list.  This is the cell
+        train primitive: one link serialization entry stepping through a
+        back-to-back run of cells.  Not cancellable.
+        """
+        if time_ns < self._now:
+            raise SimError(
+                f"cannot schedule at t={time_ns}ns, now is {self._now}ns"
+            )
+        seq = self._seq
+        self._seq = seq + 1
+        entry[0] = time_ns
+        entry[1] = seq
+        entry[2] = fn
+        slot = time_ns >> _WHEEL_SHIFT
+        if slot - self._cursor >= _WHEEL_SLOTS:
+            heapq.heappush(self._spill, entry)
+        else:
+            bucket = self._buckets[slot & _WHEEL_MASK]
+            if slot == self._sorted_slot:
+                _insort_desc(bucket, entry)
+            else:
+                bucket.append(entry)
+            self._wheel_live += 1
 
     def call_soon(self, fn: Callable[[], None]) -> Event:
         """Schedule ``fn`` at the current instant (after pending same-time
@@ -180,21 +330,23 @@ class Simulator:
         self._cancelled += 1
         if (
             self._cancelled > self.COMPACT_MIN_CANCELLED
-            and self._cancelled * 2 > len(self._heap)
+            and self._cancelled * 2 > len(self._spill)
         ):
             self._compact()
 
     def _compact(self) -> None:
-        """Drop cancelled entries and re-heapify, in place.
+        """Drop cancelled entries from the spill heap and re-heapify,
+        in place.
 
-        In place matters: ``run`` holds a local reference to the heap
+        In place matters: ``run`` holds a local reference to the spill
         list, so compaction (triggered by a cancel inside a callback)
         must mutate the same object.  Rebuilding preserves pop order
-        because ``(time_ns, seq)`` is a total order.
+        because ``(time_ns, seq)`` is a total order.  The wheel never
+        holds corpses — only the spill heap takes cancellable events.
         """
-        heap = self._heap
-        heap[:] = [entry for entry in heap if entry[2] is not None]
-        heapq.heapify(heap)
+        spill = self._spill
+        spill[:] = [entry for entry in spill if entry[2] is not None]
+        heapq.heapify(spill)
         self._cancelled = 0
 
     # ------------------------------------------------------------------
@@ -216,43 +368,126 @@ class Simulator:
             raise SimError("simulator is not re-entrant")
         self._running = True
         # Local bindings shave an attribute lookup per event on the
-        # hottest loop in the codebase; the heap list itself is never
-        # rebound (push/compact mutate it in place) so locals stay valid
-        # across callbacks that schedule more work.
-        heap = self._heap
+        # hottest loop in the codebase; the bucket lists and the spill
+        # list are never rebound (inserts/compaction mutate in place) so
+        # locals stay valid across callbacks that schedule more work.
+        # The per-event counters (`_events_fired`, `_wheel_live`) update
+        # eagerly so `events_fired`/`pending_events` stay exact even
+        # when read from inside a callback.  The int sentinels keep the
+        # horizon/budget compares int-vs-int.
+        buckets = self._buckets
+        spill = self._spill
         heappop = heapq.heappop
-        horizon = _INF if until is None else until
-        limit = _INF if max_events is None else max_events
-        fired_this_run = 0
+        shift = _WHEEL_SHIFT
+        mask = _WHEEL_MASK
+        nslots = _WHEEL_SLOTS
+        horizon = _NEVER if until is None else until
+        limit = _NEVER if max_events is None else max_events
+        fired = 0
+        cursor = self._cursor
+        # Only this loop ever writes _sorted_slot (inserts just read it
+        # for the insort decision), so a local mirror is safe and saves
+        # an attribute read per event.
+        sorted_slot = self._sorted_slot
+        due = buckets[cursor & mask]
         try:
-            while heap:
-                entry = heap[0]
-                if entry[0] > horizon:
+            while True:
+                # ---- wheel candidate: head of the cursor's bucket ----
+                if due:
+                    if sorted_slot != cursor:
+                        # First look at this bucket (or appends landed
+                        # while it was not the drain target): establish
+                        # descending order once, then trust the tail —
+                        # pops and insorts both preserve it.
+                        due.sort(reverse=True)
+                        sorted_slot = self._sorted_slot = cursor
+                    wheel_entry = due[-1]
+                elif self._wheel_live:
+                    # Scan forward for the next non-empty bucket, but
+                    # never past the spill head's slot (firing it must
+                    # not strand the cursor ahead of insert targets).
+                    bound = spill[0][0] >> shift if spill else cursor + nslots
+                    if bound > cursor + nslots:
+                        bound = cursor + nslots
+                    scan = cursor + 1
+                    while scan < bound and not buckets[scan & mask]:
+                        scan += 1
+                    cursor = self._cursor = scan
+                    due = buckets[scan & mask]
+                    if due:
+                        due.sort(reverse=True)
+                        sorted_slot = self._sorted_slot = scan
+                        wheel_entry = due[-1]
+                    else:
+                        wheel_entry = None
+                else:
+                    wheel_entry = None
+
+                # ---- merge with the spill heap, skipping corpses ----
+                if spill:
+                    spill_entry = spill[0]
+                    if wheel_entry is None or spill_entry < wheel_entry:
+                        fn = spill_entry[2]
+                        if fn is None:
+                            # Lazy-deleted corpse: drop it without
+                            # charging events_fired or the budget.
+                            heappop(spill)
+                            self._cancelled -= 1
+                            continue
+                        time_ns = spill_entry[0]
+                        if time_ns > horizon and until is not None:
+                            # (`horizon` may be the _NEVER sentinel; an
+                            # event beyond even that is still live and
+                            # fires when no horizon was requested.)
+                            self._now = until
+                            cursor = until >> shift
+                            break
+                        if fired >= limit:
+                            cursor = self._now >> shift
+                            break
+                        heappop(spill)
+                        # Neutralize before firing: cancelling an
+                        # already-fired event's handle (stale RTO
+                        # guards do this) must not be booked as a
+                        # corpse — and spent entries are what
+                        # ``rearm_at`` callers recycle.
+                        spill_entry[2] = None
+                        self._now = time_ns
+                        slot = time_ns >> shift
+                        if slot != cursor:
+                            cursor = self._cursor = slot
+                            due = buckets[slot & mask]
+                        fn()
+                        self._events_fired += 1
+                        fired += 1
+                        continue
+                elif wheel_entry is None:
+                    # Both structures drained: advance the clock to the
+                    # horizon if one was given.
+                    if until is not None and until > self._now:
+                        self._now = until
+                    cursor = self._now >> shift
+                    break
+
+                # ---- fire from the wheel ----
+                time_ns = wheel_entry[0]
+                if time_ns > horizon and until is not None:
                     self._now = until
+                    cursor = until >> shift
                     break
-                fn = entry[2]
-                if fn is None:
-                    # Lazy-deleted corpse: drop it without charging
-                    # events_fired or the max_events budget.
-                    heappop(heap)
-                    self._cancelled -= 1
-                    continue
-                if fired_this_run >= limit:
+                if fired >= limit:
+                    cursor = self._now >> shift
                     break
-                heappop(heap)
-                # Neutralize before firing: cancelling an already-fired
-                # event's handle (stale RTO guards do this) must not be
-                # booked as a heap corpse.
-                entry[2] = None
-                self._now = entry[0]
+                due.pop()
+                self._wheel_live -= 1
+                fn = wheel_entry[2]
+                wheel_entry[2] = None
+                self._now = time_ns
                 fn()
                 self._events_fired += 1
-                fired_this_run += 1
-            else:
-                # Queue drained: advance the clock to the horizon if given.
-                if until is not None and until > self._now:
-                    self._now = until
+                fired += 1
         finally:
+            self._cursor = cursor
             self._running = False
         return self._now
 

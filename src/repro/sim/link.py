@@ -10,19 +10,37 @@ that need finite buffers (Ethernet drop-tail switches) or congestion
 marking (Fabric Elements) consult :attr:`queued_bytes` /
 :attr:`queued_frames` before or while enqueuing.
 
-Hot-path design
----------------
+Hot-path design: cell trains
+----------------------------
 
-Every frame used to cost two closure allocations (one for the
-serialization-done event, one for delivery) plus a fresh
-``time_ns_for_bytes`` division.  Links now schedule two *bound methods*
-through the engine's no-handle fast path and keep the frame payloads in
-FIFO side queues (``_serializing``, ``_in_flight``): serialization
-events complete in scheduling order per link, and propagation adds the
-same constant to monotonically increasing completion times, so popping
-left always matches the right frame.  Serialization times are memoized
-per frame size — fabric traffic uses a handful of distinct sizes, so
-the per-cell cost collapses to one dict hit.
+When a sender has k back-to-back cells queued, the link serializes them
+as one *train*: a single reusable ``[time_ns, seq, fn]`` engine entry
+(:meth:`Simulator.rearm_at`) steps through the k serialization
+completions at their exact per-cell timestamps, and the frame being
+serialized lives in three scalar slots instead of an allocated record.
+Per cell that collapses an entry allocation plus two O(log n) heap
+operations into one O(1) calendar-bucket re-arm — while firing exactly
+the same events at the same ``(time_ns, seq)`` keys as the unbatched
+engine, because each step re-arms at the execution point where the old
+code scheduled afresh.  (Event *count* is part of every committed golden
+digest, so trains amortize per-event cost, never event count.)
+
+Trains split correctly under mid-train disturbances because each step
+re-derives its state from the live link: ``set_rate`` flushes the
+memoized per-size serialization times, so the next cell of the train
+serializes at the new rate; ``fail()`` drops the queued remainder of the
+train and lets the in-flight cell finish into a dead link (counted
+lost); a post-``restore`` train lays a fresh entry if the pre-fail one
+is still pending, and completion matching falls back to a FIFO side
+queue (``_ser_extra``) so the stale completion pairs with the right
+frame.
+
+Propagation stays on the engine's no-handle fast path: delivery events
+share one constant delay, so they fire in append order and a pure FIFO
+(``_in_flight``) matches payloads exactly.  Delivery dispatches through
+``dst.receive`` as bound at construction — a link's endpoints are fixed
+at wiring time, and rebinding ``receive`` on a wired device later is
+not supported.
 """
 
 from __future__ import annotations
@@ -44,8 +62,11 @@ class Link:
 
     __slots__ = (
         "sim", "src", "dst", "rate_bps", "propagation_ns", "name", "up",
-        "_queue", "_queued_bytes", "_busy", "_serializing", "_in_flight",
-        "_tx_ns", "tx_frames", "tx_bytes", "peak_queue_bytes",
+        "_queue", "_queued_bytes", "_busy",
+        "_ser_payload", "_ser_size", "_ser_done", "_ser_extra",
+        "_in_flight", "_tx_ns", "_tx_last_size", "_tx_last_ns",
+        "_tx_entry", "_dst_receive",
+        "tx_frames", "tx_bytes", "peak_queue_bytes",
         "peak_queue_frames", "on_transmit", "on_idle",
         "dropped_frames", "dropped_bytes", "failed_at_ns",
     )
@@ -74,18 +95,33 @@ class Link:
         self._queue: deque[tuple[Any, int]] = deque()
         self._queued_bytes = 0
         self._busy = False
-        #: (payload, size, done_ns) whose serialization event is
-        #: pending.  Normally at most one entry; fail()/restore() can
-        #: leave a stale pre-fail entry alongside a new one, so
-        #: ``_tx_done`` matches on done_ns rather than trusting FIFO.
-        self._serializing: deque[tuple[Any, int, int]] = deque()
+        #: The frame currently serializing, held in scalar slots
+        #: (``_ser_done`` is -1 when idle).  ``fail()``/``restore()``
+        #: can leave a stale pre-fail serialization pending alongside a
+        #: new one; those overflow into ``_ser_extra`` (FIFO) and
+        #: ``_tx_done`` matches on completion time rather than trusting
+        #: the scalars.
+        self._ser_payload: Any = None
+        self._ser_size = 0
+        self._ser_done = -1
+        self._ser_extra: deque[tuple[Any, int, int]] = deque()
         #: Payloads on the wire (serialized, not yet delivered).  Pure
         #: FIFO is exact here: entries are appended in simulation-time
         #: order and all delivery events share one propagation delay,
         #: so they fire in append order.
         self._in_flight: deque[Any] = deque()
-        #: Frame size -> serialization time at this link's rate.
+        #: Frame size -> serialization time at this link's rate, with a
+        #: one-entry scalar front (a fabric link carries essentially
+        #: one cell size, so the dict is rarely consulted).
         self._tx_ns: Dict[int, int] = {}
+        self._tx_last_size = -1
+        self._tx_last_ns = 0
+        #: The train entry: one reusable engine entry stepping through
+        #: back-to-back serialization completions.  ``entry[2] is None``
+        #: means spent (fired or never armed) and safe to re-arm.
+        self._tx_entry: list = [0, 0, None]
+        #: Bound delivery target — ``dst`` never changes after wiring.
+        self._dst_receive: Callable[[Any, "Link"], None] = dst.receive
 
         # Accounting.
         self.tx_frames = 0
@@ -153,43 +189,84 @@ class Link:
             self._start_next()
 
     def _start_next(self) -> None:
+        """Start (or continue) a serialization train with the next frame."""
         payload, size = self._queue.popleft()
         self._queued_bytes -= size
         self._busy = True
         if self.on_transmit is not None:
             self.on_transmit(payload)
-        tx_time = self._tx_ns.get(size)
-        if tx_time is None:
-            tx_time = self._tx_ns[size] = time_ns_for_bytes(
-                size, self.rate_bps
+        if size == self._tx_last_size:
+            tx_time = self._tx_last_ns
+        else:
+            tx_time = self._tx_ns.get(size)
+            if tx_time is None:
+                tx_time = self._tx_ns[size] = time_ns_for_bytes(
+                    size, self.rate_bps
+                )
+            self._tx_last_size = size
+            self._tx_last_ns = tx_time
+        sim = self.sim
+        # Engine-internal clock read: this runs once per serialized
+        # frame, and the property indirection is measurable there.
+        done = sim._now + tx_time
+        if self._ser_done != -1:
+            # A stale pre-fail serialization is still pending: demote it
+            # to the FIFO side queue so completion matching stays exact.
+            self._ser_extra.append(
+                (self._ser_payload, self._ser_size, self._ser_done)
             )
-        self._serializing.append((payload, size, self.sim.now + tx_time))
-        self.sim.call_later(tx_time, self._tx_done)
+        self._ser_payload = payload
+        self._ser_size = size
+        self._ser_done = done
+        entry = self._tx_entry
+        if entry[2] is not None:
+            # The stale serialization owns the train entry; orphan it
+            # (its event still fires) and lay a fresh one for this train.
+            self._tx_entry = entry = [0, 0, None]
+        sim.rearm_at(done, entry, self._tx_done)
 
     def _tx_done(self) -> None:
-        serializing = self._serializing
-        now = self.sim.now
-        if serializing[0][2] == now:
-            payload, size, _ = serializing.popleft()
+        sim = self.sim
+        now = sim._now
+        if not self._ser_extra:
+            payload = self._ser_payload
+            size = self._ser_size
+            self._ser_payload = None
+            self._ser_done = -1
         else:
-            # A stale pre-fail serialization is still pending and a
-            # post-restore frame finished first: this event belongs to
-            # the first entry scheduled to complete right now (ties pop
-            # in append order, matching event sequence order).
-            index = 1
-            while serializing[index][2] != now:
-                index += 1
-            payload, size, _ = serializing[index]
-            del serializing[index]
+            payload, size = self._take_serialized(now)
         self.tx_frames += 1
         self.tx_bytes += size
         if self.up:
             # Frame hits the wire; deliver after propagation.
             self._in_flight.append(payload)
-            self.sim.call_later(self.propagation_ns, self._deliver)
-            # Next frame, if any.
-            if self._queue:
-                self._start_next()
+            sim.schedule_at(now + self.propagation_ns, self._deliver)
+            # Next frame of the train, if any: the common step is
+            # inlined (this method *is* the per-cell train step, so a
+            # Python call per cell is real cost); hooks and the
+            # stale-serialization corner fall back to _start_next.
+            queue = self._queue
+            if queue:
+                if self.on_transmit is None and self._tx_entry[2] is None:
+                    payload, size = queue.popleft()
+                    self._queued_bytes -= size
+                    if size == self._tx_last_size:
+                        tx_time = self._tx_last_ns
+                    else:
+                        tx_time = self._tx_ns.get(size)
+                        if tx_time is None:
+                            tx_time = self._tx_ns[size] = time_ns_for_bytes(
+                                size, self.rate_bps
+                            )
+                        self._tx_last_size = size
+                        self._tx_last_ns = tx_time
+                    done = now + tx_time
+                    self._ser_payload = payload
+                    self._ser_size = size
+                    self._ser_done = done
+                    sim.rearm_at(done, self._tx_entry, self._tx_done)
+                else:
+                    self._start_next()
                 return
         else:
             # Serialization finished into a dead link: the frame is
@@ -201,13 +278,33 @@ class Link:
         if self.on_idle is not None and not self._queue:
             self.on_idle()
 
+    def _take_serialized(self, now: int) -> tuple[Any, int]:
+        """Match a completion to its frame when stale serializations from
+        a fail/restore cycle coexist with the live train.
+
+        Candidates are checked oldest-first (the side queue preserves
+        start order; the scalars hold the newest), matching on the
+        completion time — ties pop in start order, which is event
+        sequence order.
+        """
+        extra = self._ser_extra
+        for index, (payload, size, done) in enumerate(extra):
+            if done == now:
+                del extra[index]
+                return payload, size
+        payload = self._ser_payload
+        size = self._ser_size
+        self._ser_payload = None
+        self._ser_done = -1
+        return payload, size
+
     def _deliver(self) -> None:
-        payload = self._in_flight.popleft()
         if self.up:
-            self.dst.receive(payload, self)
+            self._dst_receive(self._in_flight.popleft(), self)
         else:
             # The link died while the frame was propagating: lost in
             # flight (size unknown here; frames only).
+            self._in_flight.popleft()
             self.dropped_frames += 1
 
     # ------------------------------------------------------------------
@@ -218,9 +315,13 @@ class Link:
 
         Returns the number of frames lost from the transmit queue.
         Frames mid-serialization or mid-propagation are counted into
-        :attr:`dropped_frames` when their events fire (still down).
+        :attr:`dropped_frames` when their events fire (still down) —
+        this is also what splits an in-progress train: its queued
+        remainder is dropped here, its in-flight head finishes into the
+        dead link.
         """
         self.up = False
+        self.sim.topology_epoch += 1
         self.failed_at_ns = self.sim.now
         lost = len(self._queue)
         self.dropped_frames += lost
@@ -232,19 +333,22 @@ class Link:
     def restore(self) -> None:
         """Bring the link back up (queue starts empty)."""
         self.up = True
+        self.sim.topology_epoch += 1
         self._busy = False
 
     def set_rate(self, rate_bps: int) -> None:
         """Change the serialization rate (degraded-operation intervals).
 
-        Takes effect from the next frame to start serializing; the
-        memoized per-size serialization times are recomputed lazily.
+        Takes effect from the next frame to start serializing — an
+        in-progress train splits here, because every step re-derives its
+        serialization time from the (now flushed) memo table.
         """
         if rate_bps <= 0:
             raise ValueError(f"rate must be positive, got {rate_bps}")
         if rate_bps != self.rate_bps:
             self.rate_bps = rate_bps
             self._tx_ns = {}
+            self._tx_last_size = -1
 
 
 def duplex(

@@ -8,6 +8,7 @@ time-weighted occupancies.
 from __future__ import annotations
 
 import math
+from array import array
 from typing import Dict, Iterable, List, Optional, Sequence
 
 
@@ -50,18 +51,23 @@ class Counter:
 class Histogram:
     """Sample store with summary statistics.
 
-    Keeps every sample (experiments here are small enough); offers mean,
+    Keeps every sample (exactly — percentile queries stay sample-exact)
+    in an ``array('d')``: one packed C double per sample instead of a
+    pointer plus a boxed float, which cuts the resident size of a
+    5M-event run's latency histograms by ~4x and makes merges a
+    ``memcpy``.  Values coerce to float on append, exactly as the old
+    list-of-floats did, so digests hash identically.  Offers mean,
     percentiles, min/max and a fixed-bin distribution for plotting the
     paper's probability curves (Fig 9).
     """
 
     def __init__(self, name: str = "histogram") -> None:
         self.name = name
-        self._samples: List[float] = []
+        self._samples = array("d")
 
     def record(self, value: float) -> None:
         """Add one sample."""
-        self._samples.append(float(value))
+        self._samples.append(value)
 
     def extend(self, values: Iterable[float]) -> None:
         """Add many samples."""
@@ -70,10 +76,9 @@ class Histogram:
     def merge(self, other: "Histogram") -> None:
         """Append another histogram's samples.
 
-        Unlike ``extend(other.samples)`` this neither copies the source
-        list nor re-coerces every sample (they are floats already) — the
-        per-run metric merges in ``collect_metrics`` walk every recorded
-        sample, so the copies were pure overhead.
+        Array-to-array extend is a single C copy: the per-run metric
+        merges in ``collect_metrics`` walk every recorded sample, so
+        this is the cheapest correct form.
         """
         self._samples.extend(other._samples)
 

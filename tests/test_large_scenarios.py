@@ -1,0 +1,99 @@
+"""The large three-tier scenarios: registered, sharded, reproducible.
+
+``permutation_three_tier_large`` and ``mixed_three_tier_large`` are the
+cells-at-scale runs the calendar-queue engine unlocked (32 FAs / 128
+hosts across two FE tiers and a global spine row).  These tests pin the
+contract the experiment registry makes for them:
+
+* they are registered and buildable like any other scenario family;
+* the topology is non-blocking by construction (the §5.1 claim the
+  scenario exists to exercise);
+* they run under the *sharded* runner — separate worker processes —
+  and still land exactly on the committed golden digests, which is the
+  cross-process face of the determinism contract
+  (``tests/test_golden_traces.py`` checks the in-process face).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import build_scenario, run_matrix, scenario_names
+from repro.experiments.registry import THREE_TIER_LARGE_TOPOLOGY
+from repro.perf.digest import values_hash
+from repro.perf.golden import golden_name, golden_specs
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+LARGE_SCENARIOS = ("permutation_three_tier_large", "mixed_three_tier_large")
+
+
+def test_large_scenarios_are_registered():
+    names = scenario_names()
+    for name in LARGE_SCENARIOS:
+        assert name in names
+
+
+def test_large_topology_is_non_blocking():
+    """Every stage offers at least its offered load (§5.1 sizing)."""
+    topo = THREE_TIER_LARGE_TOPOLOGY.build()
+    # FA: one uplink per tier-1 FE vs one downlink per host.
+    assert topo.fes1_per_pod >= topo.hosts_per_fa
+    # Tier-1 FE: fas_per_pod down-links vs fes2_per_pod up-links.
+    assert topo.fes2_per_pod >= topo.fas_per_pod * topo.hosts_per_fa // (
+        topo.fes1_per_pod
+    )
+    # Pod uplink capacity (fes2 x spines) vs pod host capacity.
+    assert topo.fes2_per_pod * topo.spines >= (
+        topo.fas_per_pod * topo.hosts_per_fa
+    )
+    assert topo.num_fas == 32
+    assert topo.num_fas * topo.hosts_per_fa == 128
+
+
+def test_large_scenarios_have_committed_goldens():
+    recorded = {golden_name(s) for s in golden_specs()}
+    for name in LARGE_SCENARIOS:
+        matching = [g for g in recorded if g.startswith(name + "-")]
+        assert matching, f"no golden cell recorded for {name}"
+        for stem in matching:
+            assert (GOLDEN_DIR / f"{stem}.json").exists()
+
+
+@pytest.mark.slow
+def test_large_scenarios_run_sharded_onto_their_goldens():
+    """Two worker processes, two large cells, byte-exact golden landing.
+
+    ``run_matrix(shards=2)`` sends each spec to its own process; the
+    results must still match the committed golden digests field for
+    field (flow-rate and FCT vectors via the same order-sensitive hash
+    the digests use).
+    """
+    specs = [
+        s for s in golden_specs() if s.scenario in LARGE_SCENARIOS
+    ]
+    assert len(specs) == len(LARGE_SCENARIOS)
+    results = run_matrix(specs, shards=2)
+    for spec, result in zip(specs, results):
+        recorded = json.loads(
+            (GOLDEN_DIR / f"{golden_name(spec)}.json").read_text()
+        )["digest"]
+        assert result.spec_hash == recorded["spec_hash"]
+        assert result.delivered_bytes == recorded["delivered_bytes"]
+        assert result.drops == recorded["drops"]
+        assert result.sim_time_ns == recorded["sim_time_ns"]
+        assert values_hash(result.flow_rates_gbps) == (
+            recorded["flow_rates_hash"]
+        )
+        assert values_hash(result.fcts_ns) == recorded["fcts_hash"]
+
+
+def test_large_scenario_specs_build_without_running():
+    for name in LARGE_SCENARIOS:
+        spec = build_scenario(name)
+        assert spec.scenario == name
+        assert spec.topology.kind == "three_tier"
+        assert spec.topology.params["pods"] == 4
