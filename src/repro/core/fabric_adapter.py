@@ -370,6 +370,20 @@ class FabricAdapter(Entity):
         """Bytes currently queued across all VOQs."""
         return sum(v.bytes for v in self._voqs.values())
 
+    def total_credit_balance(self) -> int:
+        """Net credit balance across all VOQs (surpluses minus
+        deficits) — the telemetry probes' credit-loop health signal."""
+        return sum(v.credit_balance for v in self._voqs.values())
+
+    def voq_items(self):
+        """Live ``(VoqId, Voq)`` pairs, for per-VOQ telemetry probes.
+
+        VOQs appear lazily (first packet toward a destination), so
+        per-VOQ samplers re-enumerate each tick rather than binding a
+        fixed list at attach time.
+        """
+        return self._voqs.items()
+
     # ------------------------------------------------------------------
     # Control plane
     # ------------------------------------------------------------------

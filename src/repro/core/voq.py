@@ -52,6 +52,11 @@ class SharedBufferPool:
         """Used fraction of the shared buffer pool."""
         return self.used_bytes / self.capacity_bytes
 
+    @property
+    def free_bytes(self) -> int:
+        """Unreserved bytes remaining in the pool."""
+        return self.capacity_bytes - self.used_bytes
+
 
 class Voq:
     """A single virtual output queue."""
@@ -150,3 +155,11 @@ class Voq:
         first = self.next_seq
         self.next_seq += count
         return first
+
+    def snapshot(self) -> tuple[int, int, int]:
+        """``(bytes, packets, credit_balance)`` — one telemetry sample.
+
+        A single tuple read so per-VOQ probes touch the queue once per
+        tick instead of three property round-trips.
+        """
+        return self._bytes, len(self._packets), self.credit_balance

@@ -101,12 +101,26 @@ def cmd_show(args) -> int:
 
 def cmd_run(args) -> int:
     specs = _build_matrix(args)
+    if args.telemetry:
+        from repro.telemetry.probes import TelemetryConfig
+
+        telemetry = TelemetryConfig(
+            sample_interval_ns=args.sample_interval_ns
+        ).to_dict()
+        specs = [s.with_updates(telemetry=telemetry) for s in specs]
     store = None if args.no_cache else ResultStore(args.store)
     started = time.monotonic()
     results = run_matrix(
-        specs, shards=args.shards, store=store, progress=print
+        specs, shards=args.shards, store=store, progress=print,
+        live=args.progress,
     )
     elapsed = time.monotonic() - started
+
+    if args.telemetry and store is not None:
+        for spec in specs:
+            sidecar = store.telemetry_path_for(spec)
+            if sidecar.exists():
+                print(f"telemetry: {sidecar}")
 
     if args.json:
         print(json.dumps([r.to_dict() for r in results], indent=1))
@@ -182,6 +196,20 @@ def main(argv=None) -> int:
     )
     run.add_argument(
         "--json", action="store_true", help="emit raw results as JSON"
+    )
+    run.add_argument(
+        "--progress", action="store_true",
+        help="report each cell as it completes (wall time, events/s, "
+             "sim-time rate, ETA)",
+    )
+    run.add_argument(
+        "--telemetry", action="store_true",
+        help="instrument every cell (time-series probes + flow spans; "
+             "see python -m repro.telemetry export)",
+    )
+    run.add_argument(
+        "--sample-interval-ns", type=int, default=10_000,
+        help="telemetry sampling cadence (with --telemetry)",
     )
 
     args = parser.parse_args(argv)

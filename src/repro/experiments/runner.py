@@ -20,6 +20,7 @@ the executors never sniff which fabric they were handed.
 from __future__ import annotations
 
 import random
+import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence
 
@@ -57,12 +58,22 @@ class RunResult:
     sim_time_ns: int = 0
     #: Workload-specific extras (fairness spread, queue depths, ...).
     metrics: Dict[str, Any] = field(default_factory=dict)
+    #: Engine events the run fired — deterministic per spec; feeds the
+    #: live-progress events/s readout (wall time stays out of results).
+    events_fired: int = 0
+    #: Telemetry artifact (see :mod:`repro.telemetry`); ``None`` — and
+    #: omitted from :meth:`to_dict` — on uninstrumented runs, so stored
+    #: cells keep their historical shape.
+    telemetry: Optional[Dict[str, Any]] = None
 
     def to_dict(self) -> Dict[str, Any]:
         """Plain-dict form for the store and the CLI."""
         from dataclasses import asdict
 
-        return asdict(self)
+        data = asdict(self)
+        if data.get("telemetry") is None:
+            del data["telemetry"]
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "RunResult":
@@ -448,7 +459,22 @@ def run_spec_with_network(spec: ScenarioSpec, hermetic: bool = True):
         from repro.faults.plan import FaultPlan
 
         attach_plan(FaultPlan.from_dict(spec.faults), net)
-    return executor(spec, net), net
+    collector = None
+    if spec.telemetry is not None:
+        # Arm the probes before hosts attach so flow spans are caught
+        # from the first packet; uninstrumented specs never import the
+        # telemetry machinery (zero-cost when unused, like faults).
+        from repro.telemetry.collector import attach_collector
+        from repro.telemetry.probes import TelemetryConfig
+
+        collector = attach_collector(
+            net, TelemetryConfig.from_dict(spec.telemetry)
+        )
+    result = executor(spec, net)
+    result.events_fired = net.sim.events_fired
+    if collector is not None:
+        result.telemetry = collector.finalize()
+    return result, net
 
 
 def run_spec(spec: ScenarioSpec, hermetic: bool = True) -> RunResult:
@@ -467,11 +493,41 @@ def _worker_run(payload: str) -> Dict[str, Any]:
     return run_spec(spec).to_dict()
 
 
+def _worker_run_indexed(item) -> tuple:
+    """Shard entry point for live sweeps: keeps the input index (the
+    pool returns completions out of order) and measures the cell's own
+    wall time so the parent can report events/s per shard."""
+    index, payload = item
+    start = time.perf_counter()
+    result = _worker_run(payload)
+    return index, result, time.perf_counter() - start
+
+
+def _progress_line(
+    result: RunResult, done: int, total: int, wall_s: float,
+    started_at: float,
+) -> str:
+    """One live-progress line: cell finished, shard throughput, ETA."""
+    elapsed = time.perf_counter() - started_at
+    eta_s = elapsed / done * (total - done) if done else 0.0
+    eps = result.events_fired / wall_s if wall_s > 0 else 0.0
+    sim_ms_per_s = (
+        result.sim_time_ns / 1e6 / wall_s if wall_s > 0 else 0.0
+    )
+    return (
+        f"[{done}/{total}] {result.scenario} "
+        f"{result.fabric}/{result.transport} seed={result.seed}: "
+        f"{wall_s:.1f}s, {eps / 1e3:.0f}k events/s, "
+        f"{sim_ms_per_s:.2f} sim-ms/s, eta {eta_s:.0f}s"
+    )
+
+
 def run_matrix(
     specs: Sequence[ScenarioSpec],
     shards: int = 1,
     store=None,
     progress=None,
+    live: bool = False,
 ) -> List[RunResult]:
     """Execute a spec matrix, one result per spec, input order preserved.
 
@@ -479,6 +535,11 @@ def run_matrix(
     misses run across ``shards`` worker processes (in-process when
     ``shards <= 1``, a single spec remains, or multiprocessing is
     unavailable).  Fresh results are persisted back to the store.
+
+    ``live=True`` reports each cell as it completes through
+    ``progress`` — cells done, per-cell wall time, events/s, sim-time
+    rate and a remaining-time estimate — instead of staying silent
+    until the whole matrix returns.
     """
     notify = progress or (lambda _msg: None)
     results: List[Optional[RunResult]] = [None] * len(specs)
@@ -497,7 +558,7 @@ def run_matrix(
     fresh: List[RunResult] = []
     if pending:
         payloads = [specs[i].to_json() for i in pending]
-        fresh = _execute(payloads, shards, notify)
+        fresh = _execute(payloads, shards, notify, live=live)
         for i, result in zip(pending, fresh):
             results[i] = result
             if store is not None:
@@ -506,21 +567,41 @@ def run_matrix(
 
 
 def _execute(
-    payloads: List[str], shards: int, notify
+    payloads: List[str], shards: int, notify, live: bool = False
 ) -> List[RunResult]:
     """Run serialized specs, fanning out when it can help."""
-    if shards > 1 and len(payloads) > 1:
+    total = len(payloads)
+    started_at = time.perf_counter()
+    if shards > 1 and total > 1:
         try:
             import multiprocessing
 
-            workers = min(shards, len(payloads))
-            notify(f"running {len(payloads)} cells on {workers} shards")
+            workers = min(shards, total)
+            notify(f"running {total} cells on {workers} shards")
+            results: List[Optional[RunResult]] = [None] * total
+            done = 0
             with multiprocessing.Pool(processes=workers) as pool:
-                dicts = pool.map(_worker_run, payloads)
-            return [RunResult.from_dict(d) for d in dicts]
+                for index, data, wall_s in pool.imap_unordered(
+                    _worker_run_indexed, list(enumerate(payloads))
+                ):
+                    results[index] = RunResult.from_dict(data)
+                    done += 1
+                    if live:
+                        notify(_progress_line(
+                            results[index], done, total, wall_s,
+                            started_at,
+                        ))
+            return [r for r in results if r is not None]
         except (ImportError, OSError) as exc:
             notify(f"multiprocessing unavailable ({exc}); running inline")
-    results = []
-    for payload in payloads:
-        results.append(RunResult.from_dict(_worker_run(payload)))
-    return results
+    inline: List[RunResult] = []
+    for index, payload in enumerate(payloads):
+        cell_start = time.perf_counter()
+        result = RunResult.from_dict(_worker_run(payload))
+        inline.append(result)
+        if live:
+            notify(_progress_line(
+                result, index + 1, total,
+                time.perf_counter() - cell_start, started_at,
+            ))
+    return inline

@@ -149,6 +149,14 @@ class ScenarioSpec:
     #: spec hash (and with it the result store and the no-fault golden
     #: traces) is untouched by this field existing.
     faults: Optional[Dict[str, Any]] = None
+    #: Optional telemetry configuration (a
+    #: :meth:`~repro.telemetry.probes.TelemetryConfig.to_dict`; see
+    #: :mod:`repro.telemetry`).  Hash-neutral: ``None`` serializes to
+    #: nothing (the ``faults`` trick), and :meth:`content_hash` strips
+    #: the field even when set — instrumenting a run never changes its
+    #: identity, so golden digests and cache cells are shared between
+    #: an instrumented spec and its plain twin.
+    telemetry: Optional[Dict[str, Any]] = None
 
     def __post_init__(self) -> None:
         if isinstance(self.topology, dict):
@@ -170,6 +178,13 @@ class ScenarioSpec:
                 self.faults = self.faults.to_dict()
             else:
                 FaultPlan.from_dict(self.faults)  # validate eagerly
+        if self.telemetry is not None:
+            from repro.telemetry.probes import TelemetryConfig
+
+            if isinstance(self.telemetry, TelemetryConfig):
+                self.telemetry = self.telemetry.to_dict()
+            else:
+                TelemetryConfig.from_dict(self.telemetry)  # validate
 
     # ------------------------------------------------------------------
     # Serialization
@@ -185,6 +200,8 @@ class ScenarioSpec:
         data = asdict(self)
         if data.get("faults") is None:
             del data["faults"]
+        if data.get("telemetry") is None:
+            del data["telemetry"]
         return data
 
     @classmethod
@@ -202,8 +219,17 @@ class ScenarioSpec:
         return cls.from_dict(json.loads(text))
 
     def content_hash(self) -> str:
-        """Hex digest identifying this exact spec (store cache key)."""
-        return hashlib.sha256(self.to_json().encode()).hexdigest()[:24]
+        """Hex digest identifying this exact spec (store cache key).
+
+        The ``telemetry`` field is excluded: instrumentation observes a
+        run without defining it (probes ride the event stream and never
+        schedule), so an instrumented spec is the *same experiment* —
+        same cache cell, same golden digest — as its plain twin.
+        """
+        data = self.to_dict()
+        data.pop("telemetry", None)
+        payload = json.dumps(data, sort_keys=True)
+        return hashlib.sha256(payload.encode()).hexdigest()[:24]
 
     # ------------------------------------------------------------------
     def with_updates(self, **changes) -> "ScenarioSpec":

@@ -64,6 +64,15 @@ class ResultStore:
         """Where this spec's result cell lives (whether or not present)."""
         return self.root / f"{spec.content_hash()}.json"
 
+    def telemetry_path_for(self, spec: ScenarioSpec) -> Path:
+        """Where this spec's telemetry JSONL sidecar lives (if any).
+
+        Kept out of the cell JSON so instrumented cells stay small and
+        ``python -m repro.telemetry export`` can stream the sidecar
+        directly; ``.jsonl`` also keeps it out of :meth:`cells`.
+        """
+        return self.root / f"{spec.content_hash()}.telemetry.jsonl"
+
     def has(self, spec: ScenarioSpec) -> bool:
         """Whether a completed cell exists for this exact spec."""
         return self.path_for(spec).exists()
@@ -77,14 +86,33 @@ class ResultStore:
             self.misses += 1
             return None
         self.hits += 1
-        return RunResult.from_dict(data["result"])
+        result = RunResult.from_dict(data["result"])
+        if result.telemetry is None:
+            sidecar = self.root / f"{path.stem}.telemetry.jsonl"
+            if sidecar.exists():
+                from repro.telemetry.export import read_jsonl
+
+                result.telemetry = read_jsonl(sidecar)
+        return result
 
     def put(self, spec: ScenarioSpec, result: RunResult) -> Path:
-        """Persist one cell atomically; returns its path."""
-        return atomic_write_json(
+        """Persist one cell atomically; returns its path.
+
+        An attached telemetry artifact is split out into the JSONL
+        sidecar (:meth:`telemetry_path_for`); :meth:`get` reattaches it
+        transparently on cache hits.
+        """
+        data = result.to_dict()
+        telemetry = data.pop("telemetry", None)
+        path = atomic_write_json(
             self.path_for(spec),
-            {"spec": spec.to_dict(), "result": result.to_dict()},
+            {"spec": spec.to_dict(), "result": data},
         )
+        if telemetry:
+            from repro.telemetry.export import write_jsonl
+
+            write_jsonl(self.telemetry_path_for(spec), telemetry)
+        return path
 
     def cells(self) -> List[Path]:
         """All stored cell files."""
@@ -96,9 +124,13 @@ class ResultStore:
         return len(self.cells())
 
     def clear(self) -> int:
-        """Delete every cell; returns how many were removed."""
+        """Delete every cell (and telemetry sidecar); returns how many
+        cells were removed."""
         removed = 0
         for path in self.cells():
             path.unlink()
             removed += 1
+        if self.root.is_dir():
+            for sidecar in self.root.glob("*.telemetry.jsonl"):
+                sidecar.unlink()
         return removed

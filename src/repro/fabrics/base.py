@@ -106,6 +106,9 @@ class FabricNetwork(ABC):
         self._host_sinks: Dict[PortAddress, Entity] = {}
         #: Set by :meth:`attach_faults`; ``None`` on unfaulted runs.
         self.fault_injector = None
+        #: Set by :func:`repro.telemetry.collector.attach_collector`;
+        #: ``None`` on uninstrumented runs.
+        self.telemetry = None
         self._build(self.plan)
 
     # ------------------------------------------------------------------
@@ -266,3 +269,28 @@ class FabricNetwork(ABC):
         histogram merges; subclasses override with a direct sum.
         """
         return self.collect_metrics().fabric_drops
+
+    # ------------------------------------------------------------------
+    # Telemetry surface (see repro.telemetry)
+    # ------------------------------------------------------------------
+    def register_probes(self, collector) -> None:
+        """Register this fabric's time-series probes on ``collector``.
+
+        The shared part covers what every fabric has — drop counters
+        and delivered bytes; fabric-specific signals (VOQ depths,
+        credit balances, link occupancy) come from
+        :meth:`_register_fabric_probes` overrides.
+        """
+        collector.add_probe(
+            "fabric.drops", self.fabric_drop_count, unit="frames"
+        )
+        self._register_fabric_probes(collector)
+
+    def _register_fabric_probes(self, collector) -> None:
+        """Fabric-specific probes (default: none)."""
+
+    def telemetry_hints(self) -> Dict[str, int]:
+        """Constants the FCT breakdown needs: ``link_rate_bps`` (edge
+        link speed) and ``propagation_ns`` (an end-to-end propagation
+        estimate).  ``{}`` means no breakdown is possible."""
+        return {}

@@ -233,3 +233,59 @@ class PushFabricNetwork(FabricNetwork):
         apples-to-apples.
         """
         return sum(tor.delivered_host_bytes for tor in self.tors)
+
+    # ------------------------------------------------------------------
+    # Telemetry surface (see repro.telemetry)
+    # ------------------------------------------------------------------
+    def _register_fabric_probes(self, collector) -> None:
+        """Push-fabric probes: output-queue bytes (the congestion signal
+        this fabric drops on), cumulative drops, in-flight frames."""
+        switches = [*self.tors, *self.fabric]
+        # Port lists are walked at sample time: host-facing ToR ports
+        # are attached *after* probe registration.
+        collector.add_probe(
+            "push.queued_bytes",
+            lambda: sum(
+                p.out.queued_bytes for sw in switches for p in sw.eth_ports
+            ),
+            unit="bytes",
+        )
+        collector.add_probe(
+            "push.inflight_frames",
+            lambda: sum(
+                p.out.in_flight_frames
+                for sw in switches
+                for p in sw.eth_ports
+            ),
+            unit="frames",
+        )
+        collector.add_probe(
+            "push.dropped_frames",
+            lambda: sum(sw.dropped for sw in switches),
+            unit="frames",
+        )
+        if collector.config.per_link:
+            fabric_ports = [
+                p.out
+                for sw in switches
+                for p in sw.eth_ports
+                if p.direction != "host"
+            ]
+            collector.add_dynamic_probe(
+                "link",
+                lambda: {
+                    port.name: port.queued_bytes for port in fabric_ports
+                },
+                unit="bytes",
+            )
+
+    def telemetry_hints(self) -> dict:
+        """Edge rate plus a host-to-host propagation estimate (two host
+        links, up and down through every fabric tier)."""
+        return {
+            "link_rate_bps": self.host_link_rate_bps,
+            "propagation_ns": (
+                2 * self.host_propagation_ns
+                + 2 * self.plan.tiers * self.fabric_propagation_ns
+            ),
+        }

@@ -306,3 +306,88 @@ class StardustNetwork(FabricNetwork):
             for fa in self.fas
             for port in fa.egress_ports
         )
+
+    # ------------------------------------------------------------------
+    # Telemetry surface (see repro.telemetry)
+    # ------------------------------------------------------------------
+    def _register_fabric_probes(self, collector) -> None:
+        """Stardust's probe set: VOQ/buffer occupancy, credit balances,
+        in-flight cells, serializer occupancy.
+
+        Aggregates are always on; ``per_link`` / ``per_voq`` detail
+        series are gated by the telemetry config (per-VOQ series appear
+        lazily, as the VOQs themselves do).
+        """
+        fas = self.fas
+        collector.add_probe(
+            "stardust.voq_bytes",
+            lambda: sum(fa.total_queued_bytes() for fa in fas),
+            unit="bytes",
+        )
+        collector.add_probe(
+            "stardust.buffer_used_bytes",
+            lambda: sum(fa.buffer_pool.used_bytes for fa in fas),
+            unit="bytes",
+        )
+        collector.add_probe(
+            "stardust.credit_balance_bytes",
+            lambda: sum(fa.total_credit_balance() for fa in fas),
+            unit="bytes",
+        )
+        links = self.fabric_links()
+        collector.add_probe(
+            "stardust.inflight_cells",
+            lambda: sum(link.in_flight_frames for link in links),
+            unit="cells",
+        )
+        collector.add_probe(
+            "stardust.serializer_occupancy",
+            lambda: sum(link.serializer_occupancy for link in links),
+            unit="cells",
+        )
+        collector.add_probe(
+            "stardust.fabric_queued_bytes",
+            lambda: sum(link.queued_bytes for link in links),
+            unit="bytes",
+        )
+        collector.add_probe(
+            "stardust.egress_queued_bytes",
+            lambda: sum(
+                port.link.queued_bytes
+                for fa in fas
+                for port in fa.egress_ports
+            ),
+            unit="bytes",
+        )
+        if collector.config.per_link:
+            collector.add_dynamic_probe(
+                "link",
+                lambda: {
+                    link.name: link.queued_bytes for link in links
+                },
+                unit="bytes",
+            )
+        if collector.config.per_voq:
+            def _voq_depths() -> dict:
+                out = {}
+                for fa in fas:
+                    for voq_id, voq in fa.voq_items():
+                        nbytes, _packets, credit = voq.snapshot()
+                        key = f"fa{fa.fa_id}.{voq_id}"
+                        out[f"{key}.bytes"] = nbytes
+                        out[f"{key}.credit"] = credit
+                return out
+
+            collector.add_dynamic_probe("voq", _voq_depths, unit="bytes")
+
+    def telemetry_hints(self) -> dict:
+        """Edge rate plus a host-to-host propagation estimate: two host
+        links and an up-and-down traversal of every fabric tier."""
+        cfg = self.config
+        return {
+            "link_rate_bps": cfg.host_link_rate_bps,
+            "propagation_ns": (
+                2 * cfg.host_propagation_ns
+                + 2 * self.plan.tiers * cfg.fabric_propagation_ns
+            ),
+        }

@@ -25,6 +25,7 @@ from repro.perf.bench import (
     bench_factories,
     bench_link_stream,
     default_permutation_spec,
+    measure_process_stats,
     profile_bench,
     suite,
 )
@@ -59,6 +60,7 @@ __all__ = [
     "diff_digests",
     "golden_name",
     "golden_specs",
+    "measure_process_stats",
     "run_digest",
     "suite",
     "values_hash",

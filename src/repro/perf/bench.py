@@ -260,11 +260,52 @@ def bench_factories(
     return benches
 
 
+def measure_process_stats(
+    factory: Callable[[], BenchResult]
+) -> BenchResult:
+    """Run one bench and annotate it with process-level cost.
+
+    Adds to ``extra``:
+
+    * ``peak_rss_kb`` — the process high-water resident set after the
+      bench (``ru_maxrss``; monotone across the suite, so a bench that
+      doesn't raise it cost less memory than everything before it);
+    * ``gc_collections`` — collections per GC generation *during* the
+      bench, a direct read on how much allocation churn the hot path
+      causes.
+
+    Both ride ``BENCH_perf.json`` for trend tracking; the regression
+    gate compares only wall/events-per-sec, so these are informational.
+    """
+    import gc
+
+    before = [s["collections"] for s in gc.get_stats()]
+    result = factory()
+    after = [s["collections"] for s in gc.get_stats()]
+    result.extra["gc_collections"] = [
+        a - b for a, b in zip(after, before)
+    ]
+    try:
+        import resource
+        import sys
+
+        rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        if sys.platform == "darwin":  # ru_maxrss is bytes on macOS
+            rss //= 1024
+        result.extra["peak_rss_kb"] = int(rss)
+    except ImportError:  # pragma: no cover - non-POSIX platforms
+        pass
+    return result
+
+
 def suite(
     quick: bool = False, only: Optional[str] = None
 ) -> List[BenchResult]:
     """Run the suite in report order (see :func:`bench_factories`)."""
-    return [factory() for _, factory in bench_factories(quick, only)]
+    return [
+        measure_process_stats(factory)
+        for _, factory in bench_factories(quick, only)
+    ]
 
 
 def profile_bench(

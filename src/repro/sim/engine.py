@@ -49,6 +49,19 @@ already fired) with a fresh sequence number and no allocation.  This is
 the primitive cell trains ride on: a link serializing k back-to-back
 cells steps one reusable entry through the wheel instead of allocating
 and heap-pushing k fresh ones (see :mod:`repro.sim.link`).
+
+Telemetry probe hook
+--------------------
+
+:meth:`Simulator.set_probe` installs an observation callback invoked
+from the run loop on a time cadence — *between* events, never as one.
+The probe schedules nothing, so ``events_fired``, event ordering and
+the simulation outcome are bit-identical with or without it (golden
+traces stay byte-identical either way).  Disabled cost is one int
+compare per fired event against a sentinel deadline.  The probe fires
+at most once per ``interval_ns``, at the first event on or past each
+deadline — sampling rides the event stream, so an idle simulation is
+(correctly) not sampled.
 """
 
 from __future__ import annotations
@@ -172,6 +185,13 @@ class Simulator:
         self._events_fired: int = 0
         self._cancelled: int = 0
         self._running = False
+        #: Telemetry probe: a callback sampled from the run loop on a
+        #: time cadence (see :meth:`set_probe`).  ``_probe_due`` is the
+        #: next sampling deadline — the ``_NEVER`` sentinel while no
+        #: probe is installed, so the hot loop pays one int compare.
+        self._probe: Optional[Callable[[int], None]] = None
+        self._probe_interval: int = 0
+        self._probe_due: int = _NEVER
         #: Bumped whenever link liveness or learned reachability changes
         #: anywhere in the simulation.  Devices key their eligible-link
         #: caches on it: unchanged epoch means the cached spray target
@@ -213,6 +233,21 @@ class Simulator:
 
     #: Pre-existing alias for :attr:`pending_events`.
     pending_live = pending_events
+
+    @property
+    def wheel_occupancy(self) -> int:
+        """Live entries currently in the calendar wheel (meta-metric)."""
+        return self._wheel_live
+
+    @property
+    def spill_occupancy(self) -> int:
+        """Entries in the spill heap, corpses included (meta-metric)."""
+        return len(self._spill)
+
+    @property
+    def corpse_count(self) -> int:
+        """Cancelled entries awaiting compaction (meta-metric)."""
+        return self._cancelled
 
     def __len__(self) -> int:
         """Exact count of events still due to fire (no corpses)."""
@@ -324,6 +359,53 @@ class Simulator:
         return self.at(self._now, fn)
 
     # ------------------------------------------------------------------
+    # Telemetry probe
+    # ------------------------------------------------------------------
+    def set_probe(
+        self, fn: Callable[[int], None], interval_ns: int
+    ) -> None:
+        """Install ``fn(now_ns)`` as the run loop's observation probe.
+
+        The probe is called at most once per ``interval_ns`` of
+        simulation time, immediately before the first event fired on or
+        past each deadline.  It must only *read* simulation state —
+        scheduling from a probe is scheduling from inside the hot loop
+        and is not supported.  Takes effect from the next :meth:`run`
+        call; replaces any previously installed probe.
+        """
+        if interval_ns <= 0:
+            raise SimError(f"probe interval must be positive, got {interval_ns}")
+        self._probe = fn
+        self._probe_interval = interval_ns
+        # First deadline: the next interval boundary at or after now.
+        self._probe_due = (self._now // interval_ns) * interval_ns
+        if self._probe_due < self._now:
+            self._probe_due += interval_ns
+
+    def clear_probe(self) -> None:
+        """Remove the probe; the hot loop reverts to the sentinel check."""
+        self._probe = None
+        self._probe_interval = 0
+        self._probe_due = _NEVER
+
+    def _probe_fire(self, time_ns: int) -> int:
+        """Invoke the probe and advance the deadline past ``time_ns``.
+
+        Returns the new deadline so the run loop can refresh its local
+        mirror.  One sample per crossing, however far the event stream
+        jumped — probes observe state, they don't backfill history.
+        """
+        probe = self._probe
+        if probe is not None:
+            probe(time_ns)
+            interval = self._probe_interval
+            due = (time_ns // interval + 1) * interval
+        else:  # cleared mid-run from a callback
+            due = _NEVER
+        self._probe_due = due
+        return due
+
+    # ------------------------------------------------------------------
     # Cancellation accounting
     # ------------------------------------------------------------------
     def _note_cancelled(self) -> None:
@@ -384,6 +466,9 @@ class Simulator:
         horizon = _NEVER if until is None else until
         limit = _NEVER if max_events is None else max_events
         fired = 0
+        # Probe deadline mirror: _NEVER when no probe is installed, so
+        # the per-event cost of the telemetry hook is one int compare.
+        probe_due = self._probe_due
         cursor = self._cursor
         # Only this loop ever writes _sorted_slot (inserts just read it
         # for the insort decision), so a local mirror is safe and saves
@@ -457,6 +542,8 @@ class Simulator:
                         if slot != cursor:
                             cursor = self._cursor = slot
                             due = buckets[slot & mask]
+                        if time_ns >= probe_due:
+                            probe_due = self._probe_fire(time_ns)
                         fn()
                         self._events_fired += 1
                         fired += 1
@@ -483,6 +570,8 @@ class Simulator:
                 fn = wheel_entry[2]
                 wheel_entry[2] = None
                 self._now = time_ns
+                if time_ns >= probe_due:
+                    probe_due = self._probe_fire(time_ns)
                 fn()
                 self._events_fired += 1
                 fired += 1

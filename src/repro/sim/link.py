@@ -163,6 +163,18 @@ class Link:
         """True while a frame is being serialized."""
         return self._busy
 
+    @property
+    def in_flight_frames(self) -> int:
+        """Frames serialized but not yet delivered (on the wire)."""
+        return len(self._in_flight)
+
+    @property
+    def serializer_occupancy(self) -> int:
+        """Frames occupying the serializer right now (0 or 1, plus any
+        stale pre-fail serializations still pending)."""
+        occupied = 1 if self._ser_done != -1 else 0
+        return occupied + len(self._ser_extra)
+
     # ------------------------------------------------------------------
     # Sending
     # ------------------------------------------------------------------

@@ -87,6 +87,17 @@ class FifoQueue(Generic[T]):
         """Items currently queued."""
         return len(self._items)
 
+    @property
+    def occupancy(self) -> float:
+        """Used fraction of the byte capacity (0.0 when unbounded).
+
+        The telemetry probes sample this: one float per queue per tick,
+        comparable across queues of different capacities.
+        """
+        if self.capacity_bytes is None:
+            return 0.0
+        return self._bytes / self.capacity_bytes
+
     def would_fit(self, item: T) -> bool:
         """Whether ``item`` fits under the capacity right now."""
         if self.capacity_bytes is None:

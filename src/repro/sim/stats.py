@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import math
 from array import array
+from collections import deque
 from typing import Dict, Iterable, List, Optional, Sequence
 
 
@@ -191,13 +192,36 @@ class TimeWeightedMean:
 
 
 class RateMeter:
-    """Bytes-per-interval meter; reports average goodput in bits/sec."""
+    """Bytes-per-interval meter; reports average goodput in bits/sec.
 
-    def __init__(self, name: str = "rate") -> None:
+    Keeps cumulative totals *and* a deque-trimmed trailing window of
+    recent observations, so windowed queries — what the telemetry
+    probes poll every tick — sum only the retained samples instead of
+    rescanning history.  The window is trimmed as samples arrive
+    (amortized O(1) per :meth:`record`), bounding memory to one
+    ``retention_ns`` of traffic regardless of run length.
+    """
+
+    #: Default trailing-window retention: wide enough for the telemetry
+    #: probes' cadences, narrow enough to stay a few hundred tuples per
+    #: port at line rate.
+    DEFAULT_RETENTION_NS = 1_000_000
+
+    def __init__(
+        self,
+        name: str = "rate",
+        retention_ns: int = DEFAULT_RETENTION_NS,
+    ) -> None:
+        if retention_ns <= 0:
+            raise ValueError("retention must be positive")
         self.name = name
         self.total_bytes = 0
         self.first_ns: Optional[int] = None
         self.last_ns: Optional[int] = None
+        self.retention_ns = retention_ns
+        #: Samples newer than ``last_ns - retention_ns``, oldest first.
+        self._window: deque[tuple[int, int]] = deque()
+        self._window_bytes = 0
 
     def record(self, time_ns: int, nbytes: int) -> None:
         """Count ``nbytes`` observed at ``time_ns``."""
@@ -205,13 +229,45 @@ class RateMeter:
             self.first_ns = time_ns
         self.last_ns = time_ns
         self.total_bytes += nbytes
+        window = self._window
+        window.append((time_ns, nbytes))
+        self._window_bytes += nbytes
+        cutoff = time_ns - self.retention_ns
+        while window and window[0][0] <= cutoff:
+            self._window_bytes -= window.popleft()[1]
+
+    def window_bytes(self, window_ns: int) -> int:
+        """Bytes observed in the trailing ``(last - window, last]``.
+
+        ``window_ns`` wider than the full observation span answers from
+        the cumulative total; wider than :attr:`retention_ns` (but
+        narrower than the span) cannot be answered exactly — raise
+        rather than silently undercount.
+        """
+        if window_ns <= 0 or self.last_ns is None:
+            return 0
+        cutoff = self.last_ns - window_ns
+        if self.first_ns is not None and cutoff < self.first_ns:
+            return self.total_bytes
+        if window_ns > self.retention_ns:
+            raise ValueError(
+                f"window {window_ns}ns exceeds retention "
+                f"{self.retention_ns}ns"
+            )
+        # The deque holds at most retention_ns of samples, already
+        # trimmed; sum the tail newer than the cutoff.
+        return sum(nb for t, nb in self._window if t > cutoff)
 
     def rate_bps(self, window_ns: Optional[int] = None) -> float:
-        """Average rate over ``window_ns``, or first..last observation."""
+        """Average rate over the trailing ``window_ns``, or over the
+        first..last observation span when no window is given."""
         if window_ns is None:
             if self.first_ns is None or self.last_ns is None:
                 return 0.0
-            window_ns = self.last_ns - self.first_ns
+            span = self.last_ns - self.first_ns
+            if span <= 0:
+                return 0.0
+            return self.total_bytes * 8 * 1e9 / span
         if window_ns <= 0:
             return 0.0
-        return self.total_bytes * 8 * 1e9 / window_ns
+        return self.window_bytes(window_ns) * 8 * 1e9 / window_ns

@@ -9,9 +9,12 @@ reachability convergence.
 
 from __future__ import annotations
 
+import json
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, List, Optional
+from pathlib import Path
+from typing import Deque, Iterator, List, Optional, Union
+
 
 from repro.sim.engine import Simulator
 
@@ -28,6 +31,19 @@ class TraceRecord:
 
     def __str__(self) -> str:
         return f"[{self.time_ns:>12}ns] {self.category:<12} {self.source}: {self.message}"
+
+    def to_dict(self) -> dict:
+        """JSON-ready form; ``data`` is omitted when absent so one
+        record is one compact JSONL line."""
+        out = {
+            "time_ns": self.time_ns,
+            "category": self.category,
+            "source": self.source,
+            "message": self.message,
+        }
+        if self.data is not None:
+            out["data"] = self.data
+        return out
 
 
 class Tracer:
@@ -98,9 +114,27 @@ class Tracer:
             out.append(record)
         return out
 
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self._records)
+
     def count(self, category: Optional[str] = None) -> int:
         """Number of buffered records (optionally per category)."""
         return len(self.records(category))
+
+    def export_jsonl(self, path: Union[str, Path]) -> int:
+        """Write the buffered records to ``path`` as JSONL.
+
+        One :meth:`TraceRecord.to_dict` object per line; returns the
+        number of records written.  This is the same shape the timeline
+        exporter consumes, so a dumped buffer can be replayed into a
+        Perfetto timeline after the run.
+        """
+        path = Path(path)
+        with path.open("w", encoding="utf-8") as fh:
+            for record in self._records:
+                fh.write(json.dumps(record.to_dict(), sort_keys=True))
+                fh.write("\n")
+        return len(self._records)
 
     def clear(self) -> None:
         """Empty the buffer and reset the drop counter."""

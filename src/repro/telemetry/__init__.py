@@ -1,0 +1,34 @@
+"""repro.telemetry — run-level metrics, probes and timeline tracing.
+
+Zero-overhead when disabled: nothing here is imported on the hot path,
+and the engine's probe hook costs one integer compare per event until a
+collector arms it.  See ``README.md`` ("Observability") for the tour.
+"""
+
+from repro.telemetry.collector import (
+    TelemetryCollector,
+    attach_collector,
+)
+from repro.telemetry.export import (
+    load_artifact,
+    perfetto_trace,
+    read_jsonl,
+    write_jsonl,
+    write_perfetto,
+)
+from repro.telemetry.probes import Series, TelemetryConfig
+from repro.telemetry.spans import FlowSpan, SpanRecorder
+
+__all__ = [
+    "FlowSpan",
+    "Series",
+    "SpanRecorder",
+    "TelemetryCollector",
+    "TelemetryConfig",
+    "attach_collector",
+    "load_artifact",
+    "perfetto_trace",
+    "read_jsonl",
+    "write_jsonl",
+    "write_perfetto",
+]

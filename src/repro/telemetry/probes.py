@@ -1,0 +1,113 @@
+"""Time-series probes: configuration and bounded sample storage.
+
+A probe is a zero-argument callable returning a number; the
+:class:`~repro.telemetry.collector.TelemetryCollector` invokes every
+registered probe once per sampling tick (the engine's probe hook, see
+``repro.sim.engine``) and appends the value to a :class:`Series` ring
+buffer.  Series are bounded: a run that outlives its ring keeps the
+most recent samples and counts what it evicted, so telemetry can never
+grow a long simulation out of memory.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Deque, Dict, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class TelemetryConfig:
+    """What to sample and how often.
+
+    Rides scenario specs as a plain dict (hash-neutral, like ``faults``)
+    and reconstructs here; every field has a default so ``{}`` is a
+    valid, sensible configuration.
+    """
+
+    #: Sampling cadence.  Probes fire at most once per interval, carried
+    #: by the event stream itself — a quiet simulation samples less
+    #: often, and sampling never schedules events of its own.
+    sample_interval_ns: int = 10_000
+    #: Ring-buffer capacity per series, in points.
+    capacity: int = 4096
+    #: Record one series per fabric link (queued bytes) instead of just
+    #: the aggregate.  Costly on large topologies; off by default.
+    per_link: bool = False
+    #: Record one series per VOQ (bytes / credit balance).  VOQs appear
+    #: lazily as traffic starts, so these series do too.
+    per_voq: bool = False
+    #: Record flow-level spans (FCT breakdowns).
+    spans: bool = True
+
+    def __post_init__(self) -> None:
+        if self.sample_interval_ns <= 0:
+            raise ValueError("sample_interval_ns must be positive")
+        if self.capacity < 1:
+            raise ValueError("capacity must be positive")
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-dict form (the shape specs carry)."""
+        return {
+            "sample_interval_ns": self.sample_interval_ns,
+            "capacity": self.capacity,
+            "per_link": self.per_link,
+            "per_voq": self.per_voq,
+            "spans": self.spans,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "TelemetryConfig":
+        """Build from a spec's ``telemetry`` dict; unknown keys fail
+        loudly rather than silently sampling the wrong thing."""
+        known = {
+            "sample_interval_ns", "capacity", "per_link", "per_voq",
+            "spans",
+        }
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(
+                f"unknown telemetry config keys: {sorted(unknown)}"
+            )
+        return cls(**data)
+
+
+class Series:
+    """A bounded time series of ``(time_ns, value)`` points."""
+
+    __slots__ = ("name", "unit", "dropped", "_points")
+
+    def __init__(self, name: str, unit: str = "", capacity: int = 4096):
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self.name = name
+        self.unit = unit
+        self.dropped = 0
+        self._points: Deque[Tuple[int, float]] = deque(maxlen=capacity)
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    def append(self, time_ns: int, value: float) -> None:
+        """Record one sample, evicting the oldest when full."""
+        points = self._points
+        if len(points) == points.maxlen:
+            self.dropped += 1
+        points.append((time_ns, value))
+
+    def points(self) -> List[Tuple[int, float]]:
+        """The retained points, oldest first."""
+        return list(self._points)
+
+    def last(self) -> Optional[Tuple[int, float]]:
+        """The most recent point, or None if empty."""
+        return self._points[-1] if self._points else None
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready form (points as ``[t, v]`` pairs)."""
+        return {
+            "name": self.name,
+            "unit": self.unit,
+            "dropped": self.dropped,
+            "points": [[t, v] for t, v in self._points],
+        }

@@ -1,0 +1,170 @@
+"""Flow-level spans: per-flow lifecycle timestamps and FCT breakdown.
+
+A :class:`SpanRecorder` hangs off every attached host (the
+``Host.span_recorder`` hook — one attribute test per packet when
+telemetry is off) and stamps the first/last data packet leaving the
+source and arriving at the destination.  Combined with the
+:class:`~repro.net.flow.FlowTracker`'s registration and completion
+times, each finished flow yields a span whose flow-completion time
+decomposes into host time, serialization, propagation and queueing —
+the fabric comparison the paper's Fig 10 makes, per flow.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+
+class FlowSpan:
+    """Lifecycle timestamps for one flow (all in sim nanoseconds)."""
+
+    __slots__ = (
+        "flow_id", "src", "dst", "size_bytes", "start_ns",
+        "first_out_ns", "last_out_ns", "first_in_ns", "last_in_ns",
+        "completed_ns", "bytes_delivered", "packets_out", "packets_in",
+    )
+
+    def __init__(self, flow_id: int) -> None:
+        self.flow_id = flow_id
+        self.src: Optional[str] = None
+        self.dst: Optional[str] = None
+        self.size_bytes: Optional[int] = None
+        self.start_ns: Optional[int] = None
+        #: First/last data packet leaving the source NIC.
+        self.first_out_ns: Optional[int] = None
+        self.last_out_ns: Optional[int] = None
+        #: First/last data packet arriving at the destination.
+        self.first_in_ns: Optional[int] = None
+        self.last_in_ns: Optional[int] = None
+        self.completed_ns: Optional[int] = None
+        self.bytes_delivered = 0
+        self.packets_out = 0
+        self.packets_in = 0
+
+    @property
+    def fct_ns(self) -> Optional[int]:
+        """Completion time relative to the flow's start, if finished."""
+        if self.completed_ns is None or self.start_ns is None:
+            return None
+        return self.completed_ns - self.start_ns
+
+    def breakdown(self, hints: Dict[str, Any]) -> Dict[str, int]:
+        """Split the FCT into host / serialization / propagation /
+        queueing components.
+
+        ``hints`` come from the fabric's ``telemetry_hints()``:
+        ``link_rate_bps`` (edge link speed) and ``propagation_ns`` (an
+        end-to-end propagation estimate for the wired path).  Host time
+        is measured (start to first packet out); serialization is the
+        delivered bytes clocked out at the edge rate; queueing is the
+        remainder — everything the fabric made the flow wait.
+        """
+        fct = self.fct_ns
+        if fct is None:
+            return {}
+        host_ns = 0
+        if self.first_out_ns is not None and self.start_ns is not None:
+            host_ns = max(0, self.first_out_ns - self.start_ns)
+        serialization_ns = 0
+        rate = hints.get("link_rate_bps")
+        if rate:
+            serialization_ns = round(self.bytes_delivered * 8 * 1e9 / rate)
+        propagation_ns = int(hints.get("propagation_ns", 0))
+        queueing_ns = max(
+            0, fct - host_ns - serialization_ns - propagation_ns
+        )
+        return {
+            "host_ns": host_ns,
+            "serialization_ns": serialization_ns,
+            "propagation_ns": propagation_ns,
+            "queueing_ns": queueing_ns,
+        }
+
+    def to_dict(self, hints: Optional[Dict[str, Any]] = None) -> Dict:
+        """JSON-ready form; None timestamps are kept explicit so an
+        unfinished flow is distinguishable from an unstarted one."""
+        out = {
+            "flow_id": self.flow_id,
+            "src": self.src,
+            "dst": self.dst,
+            "size_bytes": self.size_bytes,
+            "start_ns": self.start_ns,
+            "first_out_ns": self.first_out_ns,
+            "last_out_ns": self.last_out_ns,
+            "first_in_ns": self.first_in_ns,
+            "last_in_ns": self.last_in_ns,
+            "completed_ns": self.completed_ns,
+            "fct_ns": self.fct_ns,
+            "bytes_delivered": self.bytes_delivered,
+            "packets_out": self.packets_out,
+            "packets_in": self.packets_in,
+        }
+        if hints is not None:
+            out.update(self.breakdown(hints))
+        return out
+
+
+class SpanRecorder:
+    """Collects :class:`FlowSpan` records from host packet events.
+
+    One recorder is shared by every host of a run (installed by the
+    collector's ``attach_host`` wrap); the per-packet methods stay
+    allocation-free except the first packet of each flow.
+    """
+
+    def __init__(self) -> None:
+        self._spans: Dict[int, FlowSpan] = {}
+
+    def _span(self, flow_id: int) -> FlowSpan:
+        span = self._spans.get(flow_id)
+        if span is None:
+            span = FlowSpan(flow_id)
+            self._spans[flow_id] = span
+        return span
+
+    # ------------------------------------------------------------------
+    # Host hot-path hooks
+    # ------------------------------------------------------------------
+    def packet_out(self, time_ns: int, packet) -> None:
+        """A packet left a host NIC (data packets only)."""
+        if packet.is_ack or packet.is_cnp:
+            return
+        span = self._span(packet.flow_id)
+        if span.first_out_ns is None:
+            span.first_out_ns = time_ns
+        span.last_out_ns = time_ns
+        span.packets_out += 1
+
+    def packet_in(self, time_ns: int, packet) -> None:
+        """A data packet arrived at a destination host."""
+        span = self._span(packet.flow_id)
+        if span.first_in_ns is None:
+            span.first_in_ns = time_ns
+        span.last_in_ns = time_ns
+        span.packets_in += 1
+
+    # ------------------------------------------------------------------
+    # Finalization
+    # ------------------------------------------------------------------
+    def finalize(self, tracker) -> None:
+        """Merge the :class:`~repro.net.flow.FlowTracker`'s registration
+        and completion data into the packet-level spans."""
+        for stats in tracker.all():
+            flow = stats.flow
+            span = self._span(flow.flow_id)
+            span.src = str(flow.src)
+            span.dst = str(flow.dst)
+            span.size_bytes = flow.size_bytes
+            span.start_ns = flow.start_ns
+            span.completed_ns = stats.completed_ns
+            span.bytes_delivered = stats.bytes_delivered
+
+    def spans(self) -> List[FlowSpan]:
+        """All recorded spans, in flow-id order."""
+        return [self._spans[k] for k in sorted(self._spans)]
+
+    def to_list(
+        self, hints: Optional[Dict[str, Any]] = None
+    ) -> List[Dict]:
+        """JSON-ready span list (flow-id order, deterministic)."""
+        return [span.to_dict(hints) for span in self.spans()]

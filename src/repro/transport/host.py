@@ -54,6 +54,10 @@ class Host(Entity):
         self.nic_drops = 0
         #: Set while the Fabric Adapter has PAUSEd us (§5.4).
         self._fc_paused = False
+        #: Telemetry hook (see repro.telemetry.spans): when set, every
+        #: data packet leaving / arriving at this host is reported.
+        #: None by default — the hot paths pay one attribute test.
+        self.span_recorder = None
 
     # ------------------------------------------------------------------
     # NIC
@@ -96,6 +100,8 @@ class Host(Entity):
         if link.queued_bytes + packet.wire_bytes > self.nic_buffer_bytes:
             self.nic_drops += 1
             return
+        if self.span_recorder is not None:
+            self.span_recorder.packet_out(self.sim.now, packet)
         link.send(packet, packet.wire_bytes)
 
     def receive(self, packet: Packet, link: Link) -> None:
@@ -119,6 +125,8 @@ class Host(Entity):
         # Data packet.
         self.packets_received += 1
         self.bytes_received += packet.size_bytes
+        if self.span_recorder is not None:
+            self.span_recorder.packet_in(self.sim.now, packet)
         receiver = self._receivers.get(packet.flow_id)
         if receiver is None:
             receiver = TcpReceiver(self, packet.flow_id)

@@ -266,3 +266,57 @@ class TestUnits:
     def test_invalid_rate_raises(self):
         with pytest.raises(ValueError):
             bits_to_time_ns(8, 0)
+
+
+class TestRateMeterWindow:
+    """The deque-trimmed trailing window added for telemetry probes."""
+
+    @staticmethod
+    def naive_window_bytes(samples, last_ns, window_ns):
+        cutoff = last_ns - window_ns
+        return sum(nb for t, nb in samples if t > cutoff)
+
+    def test_windowed_matches_naive_scan(self):
+        m = RateMeter(retention_ns=10_000)
+        samples = [(t, (t * 7) % 300 + 1) for t in range(0, 5000, 130)]
+        for t, nb in samples:
+            m.record(t, nb)
+        for window_ns in (100, 1000, 2600, 9999):
+            expected = self.naive_window_bytes(
+                samples, samples[-1][0], window_ns
+            )
+            assert m.window_bytes(window_ns) == expected
+            assert m.rate_bps(window_ns) == pytest.approx(
+                expected * 8 * 1e9 / window_ns
+            )
+
+    def test_window_wider_than_span_uses_total(self):
+        m = RateMeter(retention_ns=1000)
+        m.record(100, 10)
+        m.record(200, 20)
+        # Span is 100ns; a 500ns window covers everything observed.
+        assert m.window_bytes(500) == 30
+
+    def test_window_wider_than_retention_raises(self):
+        m = RateMeter(retention_ns=1000)
+        for t in range(0, 5000, 100):
+            m.record(t, 1)
+        with pytest.raises(ValueError):
+            m.window_bytes(2000)
+
+    def test_retention_bounds_memory(self):
+        m = RateMeter(retention_ns=1000)
+        for t in range(0, 100_000, 10):
+            m.record(t, 1)
+        assert len(m._window) <= 101
+        assert m.total_bytes == 10_000  # cumulative stats unaffected
+
+    def test_nonpositive_window_is_zero(self):
+        m = RateMeter()
+        m.record(10, 5)
+        assert m.window_bytes(0) == 0
+        assert m.rate_bps(window_ns=0) == 0.0
+
+    def test_invalid_retention_rejected(self):
+        with pytest.raises(ValueError):
+            RateMeter(retention_ns=0)

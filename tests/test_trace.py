@@ -90,3 +90,50 @@ class TestTracer:
     def test_invalid_capacity(self):
         with pytest.raises(ValueError):
             Tracer(Simulator(), capacity=0)
+
+
+class TestTracerExport:
+    def test_to_dict_omits_empty_data(self):
+        sim, tracer = make()
+        tracer.enable("t")
+        tracer.record("t", "fa0", "plain")
+        tracer.record("t", "fa1", "rich", data={"bytes": 9})
+        plain, rich = [r.to_dict() for r in tracer.records()]
+        assert "data" not in plain
+        assert plain == {
+            "time_ns": 0, "category": "t", "source": "fa0",
+            "message": "plain",
+        }
+        assert rich["data"] == {"bytes": 9}
+
+    def test_iteration_yields_records_in_order(self):
+        sim, tracer = make()
+        tracer.enable("t")
+        for i in range(3):
+            tracer.record("t", "x", str(i))
+        assert [r.message for r in tracer] == ["0", "1", "2"]
+
+    def test_export_jsonl_roundtrip(self, tmp_path):
+        import json
+
+        sim, tracer = make()
+        tracer.enable("t")
+        tracer.record("t", "fa0", "hello", data={"k": 1})
+        tracer.record("t", "fa1", "world")
+        path = tmp_path / "trace.jsonl"
+        assert tracer.export_jsonl(path) == 2
+        lines = [
+            json.loads(ln) for ln in path.read_text().splitlines() if ln
+        ]
+        assert lines == [r.to_dict() for r in tracer.records()]
+
+    def test_dropped_counter_increments_on_eviction(self):
+        # Regression guard: eviction must keep counting once the ring
+        # wraps, so "how much did I lose" stays answerable.
+        sim, tracer = make()
+        tracer.enable("t")
+        for i in range(250):
+            tracer.record("t", "x", str(i))
+        assert tracer.dropped == 150
+        tracer.record("t", "x", "one more")
+        assert tracer.dropped == 151
