@@ -83,7 +83,7 @@ def test_ablation_packet_packing(benchmark):
         )
     print_series("Ablation: packet packing (§3.4) — fabric overhead", rows)
 
-    for workload, by_mode in results.items():
+    for by_mode in results.values():
         packed, unpacked = by_mode[True], by_mode[False]
         # Same offered traffic, everything delivered either way...
         assert packed["delivered"] > 0.95 * packed["sent"]

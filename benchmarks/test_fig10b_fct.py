@@ -130,9 +130,11 @@ def test_fig10b_web_fct(benchmark):
     results = benchmark.pedantic(run, rounds=1, iterations=1)
     rows = [("scheme", "done", "p50 [ms]", "p90 [ms]", "p99 [ms]")]
     stats = {}
+    def pct(fcts, q):
+        return fcts[min(len(fcts) - 1, int(q * len(fcts)))]
+
     for kind, (fcts, completed) in results.items():
-        p = lambda q: fcts[min(len(fcts) - 1, int(q * len(fcts)))]
-        stats[kind] = (p(0.5), p(0.9), p(0.99))
+        stats[kind] = (pct(fcts, 0.5), pct(fcts, 0.9), pct(fcts, 0.99))
         rows.append(
             (kind, f"{completed}/{N_PROBE_FLOWS}",
              f"{stats[kind][0]:.3f}", f"{stats[kind][1]:.3f}",

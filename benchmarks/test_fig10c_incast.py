@@ -70,7 +70,7 @@ def test_fig10c_incast(benchmark):
             )
     print_series("Fig 10(c): incast completion vs backend count", rows)
 
-    for i, n in enumerate(BACKEND_COUNTS):
+    for i in range(len(BACKEND_COUNTS)):
         star = results["stardust"][i]
         dctcp = results["dctcp"][i]
         # Everything completes, and the Stardust fabric never drops.

@@ -71,7 +71,9 @@ def scenario(kind: str, with_classes: bool):
     hosts[PortAddress(1, 0)].blast(port_a, list(range(30, 38)), priority=hi)
     net.run(2 * DURATION)
 
-    gbps_of = lambda host: host.received_bytes * 8 / (2 * DURATION / 1e9) / 1e9
+    def gbps_of(host):
+        return host.received_bytes * 8 / (2 * DURATION / 1e9) / 1e9
+
     return gbps_of(hosts[port_a]), gbps_of(hosts[port_b])
 
 

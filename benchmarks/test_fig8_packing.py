@@ -48,9 +48,8 @@ def test_fig8a_throughput_vs_packet_size(benchmark):
     # Paper's gains ("up to 15%, 30% and 49% better than the Reference
     # Switch, NDP, and non-packed cells") — our model's maxima are in
     # the same bands or better.
-    gain = lambda other: max(
-        star[i] / other[i] - 1 for i in range(len(SIZES))
-    )
+    def gain(other):
+        return max(star[i] / other[i] - 1 for i in range(len(SIZES)))
     assert gain(ref) >= 0.15
     assert gain(ndp) >= 0.30
     assert gain(cells) >= 0.49
@@ -81,7 +80,7 @@ def test_fig8b_trace_throughput(benchmark):
         )
     print_series("Fig 8(b): throughput on trace mixes [% of capacity]", rows)
 
-    for workload, by_design in scores.items():
+    for by_design in scores.values():
         star = by_design[SwitchDesign.STARDUST_PACKED]
         # Stardust saturates the device on every mix and keeps its edge.
         assert star > 99.0

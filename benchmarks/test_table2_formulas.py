@@ -59,7 +59,7 @@ def test_table2_element_counts(benchmark):
     assert table[4]["links_per_tor"] == 7 * T * L
 
     # Column consistency: links/ToR x ToRs == bundles x l.
-    for n, r in table.items():
+    for r in table.values():
         assert r["links_per_tor"] * r["max_tors"] == r["bundles"] * L
 
     # "The maximum size of a network of n tiers ... is O((k/2)^n)":

@@ -36,7 +36,7 @@ def md1_queue_distribution(rho: float, max_n: int = 200) -> List[float]:
     if max_n < 0:
         raise ValueError("max_n must be non-negative")
     if rho == 0:
-        return [1.0] + [0.0] * max_n
+        return [1.0, *([0.0] * max_n)]
 
     a = [_poisson_pmf(rho, j) for j in range(max_n + 2)]
     p = [0.0] * (max_n + 1)

@@ -37,7 +37,7 @@ _FABRIC_EXPORTS = (
 )
 
 
-def __getattr__(name):
+def __getattr__(name: str) -> object:
     if name in _FABRIC_EXPORTS:
         from repro.core import network
 

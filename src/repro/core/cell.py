@@ -26,12 +26,13 @@ class CellKind(Enum):
     REACHABILITY = auto()
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class VoqId:
     """Identity of a VOQ: destination (FA, port) plus traffic class."""
 
     dst: PortAddress
     priority: int = 0
+    _hash: int = field(init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.priority < 0:
@@ -49,7 +50,7 @@ class VoqId:
         return f"{self.dst}/tc{self.priority}"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CellFragment:
     """A contiguous slice of one packet carried inside a cell."""
 

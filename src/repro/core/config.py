@@ -15,7 +15,7 @@ from typing import Optional
 from repro.sim.units import KB, MB, MICROSECOND, gbps
 
 
-@dataclass
+@dataclass(slots=True)
 class StardustConfig:
     """Knobs for Fabric Adapters, Fabric Elements and the fabric protocol."""
 

@@ -19,7 +19,7 @@ from repro.net.addressing import DeviceId
 from repro.sim.engine import Simulator
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class VoqStatus:
     """Ingress VOQ reports its cumulative enqueued byte count.
 
@@ -32,7 +32,7 @@ class VoqStatus:
     enqueued_bytes: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class VoqDrained:
     """Ingress VOQ tears down its outstanding demand (e.g. on reset)."""
 
@@ -40,7 +40,7 @@ class VoqDrained:
     voq: VoqId
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CreditGrant:
     """Egress scheduler releases ``credit_bytes`` to an ingress VOQ."""
 
@@ -66,6 +66,8 @@ class ControlPlane:
     nanoseconds; the network builder derives it from the topology (hops
     x per-hop latency + fiber propagation).
     """
+
+    __slots__ = ("sim", "_delay_fn", "_endpoints", "messages_sent")
 
     def __init__(
         self,

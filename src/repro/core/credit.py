@@ -40,6 +40,14 @@ GrantFn = Callable[[DeviceId, VoqId, int], None]
 class EgressScheduler:
     """Demand-aware credit generator for one egress port."""
 
+    __slots__ = (
+        "sim", "config", "name", "port_rate_bps", "_grant_fn",
+        "_credit_rate_bps", "_enqueued", "_granted", "_rings", "_in_ring",
+        "_pump_event", "_paused", "_throttled_until_ns",
+        "_wrr_cursor", "_wrr_cached",
+        "credits_granted", "credit_bytes_granted", "fci_marks_seen",
+    )
+
     def __init__(
         self,
         sim: Simulator,
@@ -180,9 +188,13 @@ class EgressScheduler:
         ingress_fa, voq = key
         self._grant_fn(ingress_fa, voq, grant)
         # Self-clock: the gap paid is proportional to the bytes granted.
-        gap_ns = max(1, int(grant * 8 * SECOND / self._credit_rate_bps))
+        # The credit rate carries the fractional speedup (1.02x port
+        # rate), so the gap is float math by construction; IEEE-754
+        # double rounding is platform-deterministic, and moving to
+        # scaled-integer math would shift every committed golden trace.
+        gap_ns = max(1, int(grant * 8 * SECOND / self._credit_rate_bps))  # repro-lint: allow=DET005 -- credit speedup is fractional; f64 rounding is deterministic and golden-pinned
         if self.sim.now <= self._throttled_until_ns:
-            gap_ns = int(gap_ns * self.config.fci_throttle_factor)
+            gap_ns = int(gap_ns * self.config.fci_throttle_factor)  # repro-lint: allow=DET005 -- FCI throttle factor is fractional by design; same f64 determinism argument
         self._pump_event = self.sim.schedule(gap_ns, self._pump)
 
     def _next_ring(self) -> Optional[Deque[RemoteVoq]]:

@@ -14,8 +14,9 @@ arrive and pause it when the shallow buffer fills.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Any, Dict, ItemsView, List, Optional
 
 from repro.core.cell import Cell, CellKind, VoqId
 from repro.core.config import StardustConfig
@@ -38,20 +39,34 @@ from repro.sim.entity import Entity
 from repro.sim.link import Link
 from repro.sim.stats import Histogram, RateMeter
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.voq import Voq
 
-@dataclass
+
+@dataclass(slots=True)
 class EgressPort:
     """One host-facing port: shallow buffer + credit scheduler."""
 
     index: int
     link: Link
     scheduler: EgressScheduler
-    delivered = None  # type: RateMeter
+    delivered: RateMeter
     drops: int = 0
 
 
 class FabricAdapter(Entity):
     """A Stardust edge device (ToR role)."""
+
+    __slots__ = (
+        "config", "fa_id", "control", "_voq_cls", "buffer_pool", "_voqs",
+        "_report_flush_pending", "_uplinks",
+        "_static_reach", "_elig_cache", "_elig_epoch", "_live_uplinks",
+        "_spray", "egress_ports", "reassembly", "_monitor", "_advertiser",
+        "_inbound_index", "cell_latency", "packet_latency", "cells_sent",
+        "cells_received", "packets_in", "packets_out", "ingress_drops",
+        "local_switched", "low_latency_cells", "hosts_paused",
+        "pause_frames_sent", "alive", "dead_drops",
+    )
 
     def __init__(
         self,
@@ -61,7 +76,7 @@ class FabricAdapter(Entity):
         name: str,
         control: ControlPlane,
         spray_mode: str = "permutation",
-        rng=None,
+        rng: Optional[random.Random] = None,
     ) -> None:
         super().__init__(sim, name)
         self.config = config
@@ -78,7 +93,6 @@ class FabricAdapter(Entity):
 
         # Fabric side.
         self._uplinks: List[Link] = []
-        self._uplink_reach: Dict[int, frozenset] = {}
         self._static_reach = True
         # Eligible-uplink lists memoized per destination on the
         # simulator's topology epoch (see FabricElement._elig_cache):
@@ -88,10 +102,8 @@ class FabricAdapter(Entity):
         self._elig_epoch = -1
         self._live_uplinks: Optional[List[Link]] = None
 
-        import random as _random
-
         self._spray = SprayArbiter(
-            rng or _random.Random(config.seed ^ (0xADA9 + fa_id)),
+            rng or random.Random(config.seed ^ (0xADA9 + fa_id)),
             reshuffle_every=config.spray_reshuffle_cells,
             mode=spray_mode,
         )
@@ -107,7 +119,10 @@ class FabricAdapter(Entity):
         # Reachability protocol (dynamic mode).
         self._monitor: Optional[ReachabilityMonitor] = None
         self._advertiser: Optional[PeriodicTask] = None
-        self._in_to_uplink: Dict[int, Link] = {}
+        #: Inbound fabric link -> its uplink's attachment index.  The
+        #: index doubles as the reachability monitor's key: stable
+        #: across runs, unlike object identities.
+        self._inbound_index: Dict[Link, int] = {}
 
         # Instrumentation.
         self.cell_latency = Histogram(f"{name}.cell_latency_ns")
@@ -132,8 +147,8 @@ class FabricAdapter(Entity):
     # ------------------------------------------------------------------
     def add_uplink(self, out: Link, inbound: Link) -> None:
         """Attach a fabric uplink (out) and its reverse (inbound)."""
+        self._inbound_index[inbound] = len(self._uplinks)
         self._uplinks.append(out)
-        self._in_to_uplink[id(inbound)] = out
         self.sim.topology_epoch += 1
 
     def add_host_port(self, link: Link) -> EgressPort:
@@ -146,8 +161,12 @@ class FabricAdapter(Entity):
             grant_fn=lambda fa, voq, nb: self._send_grant(fa, voq, nb),
             name=f"{self.name}.p{index}.sched",
         )
-        port = EgressPort(index=index, link=link, scheduler=scheduler)
-        port.delivered = RateMeter(f"{self.name}.p{index}.delivered")
+        port = EgressPort(
+            index=index,
+            link=link,
+            scheduler=scheduler,
+            delivered=RateMeter(f"{self.name}.p{index}.delivered"),
+        )
         self.egress_ports.append(port)
         link.on_transmit = lambda _p, port=port: self._egress_drained(port)
         return port
@@ -171,8 +190,8 @@ class FabricAdapter(Entity):
             self.config.reachability_miss_threshold,
             on_change=self._reach_changed,
         )
-        for in_id in self._in_to_uplink:
-            self._monitor.track(in_id)
+        for index in range(len(self._uplinks)):
+            self._monitor.track(index)
         self._advertiser = PeriodicTask(
             self.sim,
             self.config.reachability_period_ns,
@@ -223,10 +242,10 @@ class FabricAdapter(Entity):
             return result
         assert self._monitor is not None
         result = []
-        for in_id, up in self._in_to_uplink.items():
+        for index, up in enumerate(self._uplinks):
             if not up.up:
                 continue
-            if dst_fa in self._monitor.reachable_via(in_id):
+            if dst_fa in self._monitor.reachable_via(index):
                 result.append(up)
         self._elig_cache[dst_fa] = result
         return result
@@ -253,7 +272,7 @@ class FabricAdapter(Entity):
     # ------------------------------------------------------------------
     # Ingress: host packets in
     # ------------------------------------------------------------------
-    def receive(self, payload, link: Link) -> None:
+    def receive(self, payload: Any, link: Link) -> None:
         """Dispatch arriving packets (host side) and cells (fabric side)."""
         if not self.alive:
             self.dead_drops += 1
@@ -264,7 +283,9 @@ class FabricAdapter(Entity):
             if payload.kind is CellKind.REACHABILITY:
                 if self._monitor is not None:
                     assert payload.reachable is not None
-                    self._monitor.heard(id(link), payload.reachable)
+                    index = self._inbound_index.get(link)
+                    if index is not None:
+                        self._monitor.heard(index, payload.reachable)
                 return
             self._egress_cell(payload)
         elif isinstance(payload, Packet):
@@ -325,7 +346,7 @@ class FabricAdapter(Entity):
                 self.pause_frames_sent += 1
                 port.link.send(frame, frame.size_bytes)
 
-    def _maybe_report(self, voq) -> None:
+    def _maybe_report(self, voq: "Voq") -> None:
         """Demand reporting: immediately past the threshold, otherwise a
         deferred flush so sub-threshold tails are reported too."""
         unreported = voq.enqueued_bytes - voq.last_reported_bytes
@@ -340,12 +361,12 @@ class FabricAdapter(Entity):
                 lambda: self._flush_report(voq),
             )
 
-    def _flush_report(self, voq) -> None:
+    def _flush_report(self, voq: "Voq") -> None:
         self._report_flush_pending.discard(voq.id)
         if voq.enqueued_bytes > voq.last_reported_bytes:
             self._report_now(voq)
 
-    def _report_now(self, voq) -> None:
+    def _report_now(self, voq: "Voq") -> None:
         voq.last_reported_bytes = voq.enqueued_bytes
         self.control.send(
             self.fa_id,
@@ -357,7 +378,7 @@ class FabricAdapter(Entity):
             ),
         )
 
-    def voq(self, voq_id: VoqId):
+    def voq(self, voq_id: VoqId) -> Optional["Voq"]:
         """The VOQ for ``voq_id`` (tests/instrumentation)."""
         return self._voqs.get(voq_id)
 
@@ -375,7 +396,7 @@ class FabricAdapter(Entity):
         deficits) — the telemetry probes' credit-loop health signal."""
         return sum(v.credit_balance for v in self._voqs.values())
 
-    def voq_items(self):
+    def voq_items(self) -> ItemsView[VoqId, "Voq"]:
         """Live ``(VoqId, Voq)`` pairs, for per-VOQ telemetry probes.
 
         VOQs appear lazily (first packet toward a destination), so
@@ -419,7 +440,7 @@ class FabricAdapter(Entity):
             return
         self._emit_burst(voq, burst)
 
-    def _emit_burst(self, voq, burst: List[Packet]) -> None:
+    def _emit_burst(self, voq: "Voq", burst: List[Packet]) -> None:
         """Chop a dequeued burst into cells and spray them (§3.4)."""
         voq_id = voq.id
         cells = pack_burst(

@@ -11,8 +11,9 @@ deep buffers) is deliberately absent.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Optional
+from typing import Dict, FrozenSet, List, Optional, Tuple
 
 from repro.core.cell import Cell, CellKind
 from repro.core.config import StardustConfig
@@ -25,7 +26,7 @@ from repro.sim.link import Link
 from repro.sim.stats import Histogram
 
 
-@dataclass(eq=False)  # identity semantics: ports are unique physical objects
+@dataclass(eq=False, slots=True)  # identity semantics: unique physical objects
 class FabricPort:
     """One full-duplex attachment of a Fabric Element."""
 
@@ -41,6 +42,15 @@ class FabricPort:
 class FabricElement(Entity):
     """A cell switch.  ``tier`` 1 is adjacent to Fabric Adapters."""
 
+    __slots__ = (
+        "config", "fe_id", "tier", "pod", "_ports", "_inbound_index",
+        "_down_map", "_up_map", "_static_up_all", "_elig_cache",
+        "_elig_epoch", "_spray", "_monitor", "_advertiser",
+        "down_queue_depth", "sample_down_queues", "cells_forwarded",
+        "cells_fci_marked", "no_route_drops", "alive", "dead_drops",
+        "_fci_threshold",
+    )
+
     def __init__(
         self,
         sim: Simulator,
@@ -49,14 +59,19 @@ class FabricElement(Entity):
         tier: int,
         name: str,
         spray_mode: str = "permutation",
-        rng=None,
+        rng: Optional[random.Random] = None,
     ) -> None:
         super().__init__(sim, name)
         self.config = config
         self.fe_id = fe_id
         self.tier = tier
+        #: Pod membership in two-tier topologies (set by the builder;
+        #: None for spine elements and one-tier fabrics).
+        self.pod: Optional[int] = None
         self._ports: List[FabricPort] = []
-        self._in_to_port: Dict[int, FabricPort] = {}
+        #: Inbound link -> its port's attachment index; the index is
+        #: the reachability monitor's stable per-run key.
+        self._inbound_index: Dict[Link, int] = {}
 
         # Forwarding view.  down_map: dst FA -> ports whose subtree holds
         # it.  up_eligible: dst FA -> up ports advertising it (dynamic
@@ -72,10 +87,8 @@ class FabricElement(Entity):
         self._elig_cache: Dict[DeviceId, List[FabricPort]] = {}
         self._elig_epoch = -1
 
-        import random as _random
-
         self._spray = SprayArbiter(
-            rng or _random.Random(config.seed ^ (0x5EED + fe_id)),
+            rng or random.Random(config.seed ^ (0x5EED + fe_id)),
             reshuffle_every=config.spray_reshuffle_cells,
             mode=spray_mode,
         )
@@ -107,8 +120,8 @@ class FabricElement(Entity):
     ) -> FabricPort:
         """Attach a fabric port (out link + inbound link + direction)."""
         port = FabricPort(neighbor=neighbor, out=out, direction=direction)
+        self._inbound_index[inbound] = len(self._ports)
         self._ports.append(port)
-        self._in_to_port[id(inbound)] = port
         self.sim.topology_epoch += 1
         return port
 
@@ -137,9 +150,13 @@ class FabricElement(Entity):
         # distinct input list: builders hand every edge of a pod the
         # same port list, and the installed lists are never mutated in
         # place (table rebuilds replace the whole dict).
-        copies: Dict[int, List[FabricPort]] = {}
+        # Keyed by element tuple: ports have identity semantics, so two
+        # keys collide exactly when the lists hold the same ports in the
+        # same order — and shared copies are safe because installed
+        # lists are never mutated.
+        copies: Dict[Tuple[FabricPort, ...], List[FabricPort]] = {}
         self._down_map = {
-            d: copies.setdefault(id(ps), list(ps))
+            d: copies.setdefault(tuple(ps), list(ps))
             for d, ps in down_map.items()
         }
         self._static_up_all = up_reaches_everything
@@ -154,8 +171,8 @@ class FabricElement(Entity):
             self.config.reachability_miss_threshold,
             self._rebuild_tables,
         )
-        for in_link_id in self._in_to_port:
-            self._monitor.track(in_link_id)
+        for index in range(len(self._ports)):
+            self._monitor.track(index)
         self._advertiser = PeriodicTask(
             self.sim,
             self.config.reachability_period_ns,
@@ -200,8 +217,8 @@ class FabricElement(Entity):
         assert self._monitor is not None
         down: Dict[DeviceId, List[FabricPort]] = {}
         up: Dict[DeviceId, List[FabricPort]] = {}
-        for in_link, port in self._in_to_port.items():
-            learned = self._monitor.reachable_via(in_link)
+        for index, port in enumerate(self._ports):
+            learned = self._monitor.reachable_via(index)
             target = down if port.direction == "down" else up
             for dst in learned:
                 target.setdefault(dst, []).append(port)
@@ -213,7 +230,9 @@ class FabricElement(Entity):
         if self._monitor is None:
             return  # static mode ignores protocol traffic
         assert cell.reachable is not None
-        self._monitor.heard(id(in_link), cell.reachable)
+        index = self._inbound_index.get(in_link)
+        if index is not None:
+            self._monitor.heard(index, cell.reachable)
 
     # ------------------------------------------------------------------
     # Failure injection (§5.10 device death)

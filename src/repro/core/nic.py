@@ -51,6 +51,11 @@ class StardustNic(FabricAdapter):
     own type so experiments can assert the reductions.
     """
 
+    # Empty on purpose: build_nic_edge_network rebrands live
+    # FabricAdapter instances via __class__ assignment, which requires
+    # an identical slot layout (no added instance state).
+    __slots__ = ()
+
     @property
     def is_single_homed(self) -> bool:
         """Attached to exactly one Fabric Element (table-free mode)."""

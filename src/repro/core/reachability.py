@@ -20,7 +20,7 @@ from repro.net.addressing import DeviceId
 from repro.sim.engine import PeriodicTask, Simulator
 
 
-@dataclass
+@dataclass(slots=True)
 class LinkHealth:
     """Receiver-side health state for one incoming link."""
 
@@ -36,6 +36,12 @@ class ReachabilityMonitor:
     ``on_change`` fires whenever a link's liveness or advertised set
     changes, letting the owning device rebuild its forwarding view.
     """
+
+    __slots__ = (
+        "sim", "period_ns", "up_threshold", "miss_threshold",
+        "_on_change", "_links", "_watchdog",
+        "links_declared_down", "links_declared_up",
+    )
 
     def __init__(
         self,

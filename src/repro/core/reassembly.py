@@ -39,6 +39,12 @@ class _Context:
 class ReassemblyEngine:
     """All reassembly contexts of one Fabric Adapter."""
 
+    __slots__ = (
+        "sim", "_deliver", "_timeout_ns", "_contexts",
+        "cells_received", "cells_out_of_order", "packets_completed",
+        "packets_discarded", "timeouts",
+    )
+
     def __init__(
         self,
         sim: Simulator,

@@ -19,6 +19,8 @@ L = TypeVar("L", bound=Hashable)
 class SprayArbiter:
     """Chooses the next link for a (destination, link-set) stream."""
 
+    __slots__ = ("_rng", "_reshuffle_every", "mode", "_state")
+
     MODES = ("permutation", "random", "static")
 
     def __init__(
@@ -58,7 +60,9 @@ class SprayArbiter:
             return self._rng.choice(list(links))
         if self.mode == "static":
             # ECMP-like: a fixed link per destination (ablation only).
-            return links[hash(dst) % len(links)]
+            # Destinations are DeviceId/VoqId built on integer ids, whose
+            # hashes are PYTHONHASHSEED-independent.
+            return links[hash(dst) % len(links)]  # repro-lint: allow=DET004 -- int-based hashes are seed-stable; static mode is an ablation
 
         state = self._state.get(dst)
         if state is None:

@@ -20,7 +20,7 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, ClassVar, Dict, List, Optional, Tuple
 
-from repro.fabrics.wiring import WiringPlan, build_wiring_plan
+from repro.fabrics.wiring import AnyTopologySpec, WiringPlan, build_wiring_plan
 from repro.net.addressing import PortAddress
 from repro.sim.engine import Simulator
 from repro.sim.entity import Entity
@@ -29,7 +29,9 @@ from repro.sim.stats import Histogram
 from repro.sim.units import gbps
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.injector import FaultInjector
     from repro.faults.metrics import ResilienceMetrics
+    from repro.telemetry.collector import TelemetryCollector
 
 
 @dataclass
@@ -98,17 +100,22 @@ class FabricNetwork(ABC):
     #: Registry name, filled in by the ``@fabric(...)`` decorator.
     fabric_name: ClassVar[str] = ""
 
-    def __init__(self, spec, config=None, sim: Optional[Simulator] = None):
+    def __init__(
+        self,
+        spec: AnyTopologySpec,
+        config: object = None,
+        sim: Optional[Simulator] = None,
+    ) -> None:
         self.spec = spec
         self.config = config
         self.sim = sim or Simulator()
         self.plan: WiringPlan = build_wiring_plan(spec)
         self._host_sinks: Dict[PortAddress, Entity] = {}
         #: Set by :meth:`attach_faults`; ``None`` on unfaulted runs.
-        self.fault_injector = None
+        self.fault_injector: Optional["FaultInjector"] = None
         #: Set by :func:`repro.telemetry.collector.attach_collector`;
         #: ``None`` on uninstrumented runs.
-        self.telemetry = None
+        self.telemetry: Optional["TelemetryCollector"] = None
         self._build(self.plan)
 
     # ------------------------------------------------------------------
@@ -120,8 +127,13 @@ class FabricNetwork(ABC):
 
     @classmethod
     @abstractmethod
-    def for_experiment(cls, topology, rate: int = gbps(10), sim=None,
-                       **config_overrides) -> "FabricNetwork":
+    def for_experiment(
+        cls,
+        topology: AnyTopologySpec,
+        rate: int = gbps(10),
+        sim: Optional[Simulator] = None,
+        **config_overrides: object,
+    ) -> "FabricNetwork":
         """Build this fabric at experiment scale.
 
         ``rate`` sets both fabric and host link rates;
@@ -226,7 +238,7 @@ class FabricNetwork(ABC):
     # ------------------------------------------------------------------
     # Fault surface (see repro.faults)
     # ------------------------------------------------------------------
-    def attach_faults(self, injector) -> None:
+    def attach_faults(self, injector: "FaultInjector") -> None:
         """Register the fault injector whose resilience metrics ride
         this network's :meth:`collect_metrics` snapshots."""
         if self.fault_injector is not None:
@@ -273,7 +285,7 @@ class FabricNetwork(ABC):
     # ------------------------------------------------------------------
     # Telemetry surface (see repro.telemetry)
     # ------------------------------------------------------------------
-    def register_probes(self, collector) -> None:
+    def register_probes(self, collector: "TelemetryCollector") -> None:
         """Register this fabric's time-series probes on ``collector``.
 
         The shared part covers what every fabric has — drop counters
@@ -286,7 +298,7 @@ class FabricNetwork(ABC):
         )
         self._register_fabric_probes(collector)
 
-    def _register_fabric_probes(self, collector) -> None:
+    def _register_fabric_probes(self, collector: "TelemetryCollector") -> None:
         """Fabric-specific probes (default: none)."""
 
     def telemetry_hints(self) -> Dict[str, int]:

@@ -149,7 +149,7 @@ class StardustNetwork(FabricNetwork):
         )
         fe.sample_down_queues = node.sample_queues
         if node.pod is not None:
-            fe.pod = node.pod  # type: ignore[attr-defined]
+            fe.pod = node.pod
         self.fes.append(fe)
         self._fes_by_id[node.element_id] = fe
 

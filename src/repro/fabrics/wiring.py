@@ -153,6 +153,12 @@ class ThreeTierSpec:
         return self.fes1_per_pod
 
 
+#: Any of the topology spec shapes :func:`build_wiring_plan` accepts.
+#: (Named to avoid clashing with the serializable scenario-level
+#: ``repro.experiments.spec.TopologySpec``.)
+AnyTopologySpec = Union[OneTierSpec, TwoTierSpec, ThreeTierSpec]
+
+
 # ----------------------------------------------------------------------
 # Wiring plan
 # ----------------------------------------------------------------------
@@ -365,7 +371,7 @@ _PLANNERS = {
 }
 
 
-def build_wiring_plan(spec) -> WiringPlan:
+def build_wiring_plan(spec: AnyTopologySpec) -> WiringPlan:
     """Compile a topology spec into its :class:`WiringPlan`."""
     try:
         planner = _PLANNERS[type(spec)]

@@ -49,9 +49,11 @@ class FaultInjector:
         #: Applied actions, for reporting: (time_ns, kind, detail).
         self.applied: List[Tuple[int, str, str]] = []
         self.faults_applied = 0
-        #: Links a fault touched (failed or degraded), by identity.
-        self._touched: Dict[int, Link] = {}
-        self._orig_rates: Dict[int, int] = {}
+        #: Links a fault touched (failed or degraded).  Keyed by the
+        #: Link object itself (identity hash, insertion order), so the
+        #: drop-count sum walks links in the order faults touched them.
+        self._touched: Dict[Link, None] = {}
+        self._orig_rates: Dict[Link, int] = {}
         #: (time_ns, delivered_bytes, protocol_downs) samples for
         #: recovery/detection measurement.
         self._samples: List[Tuple[int, int, int]] = []
@@ -195,7 +197,7 @@ class FaultInjector:
             self.faults_applied += 1
 
     def _touch(self, link: Link) -> None:
-        self._touched[id(link)] = link
+        self._touched[link] = None
 
     def _do_link_down(self, event: FaultEvent) -> None:
         for link in self._uplink_pair(event.edge, event.uplink):
@@ -205,7 +207,7 @@ class FaultInjector:
 
     def _do_link_up(self, event: FaultEvent) -> None:
         for link in self._uplink_pair(event.edge, event.uplink):
-            orig = self._orig_rates.pop(id(link), None)
+            orig = self._orig_rates.pop(link, None)
             if orig is not None:
                 link.set_rate(orig)
             # Only genuinely-down links get restore(): ending a degrade
@@ -217,7 +219,7 @@ class FaultInjector:
     def _do_degrade(self, event: FaultEvent) -> None:
         for link in self._uplink_pair(event.edge, event.uplink):
             self._touch(link)
-            self._orig_rates.setdefault(id(link), link.rate_bps)
+            self._orig_rates.setdefault(link, link.rate_bps)
             link.set_rate(max(1, int(link.rate_bps * event.factor)))
         self._record(
             event,
@@ -355,7 +357,7 @@ class FaultInjector:
         return ResilienceMetrics(
             faults_injected=self.faults_applied,
             frames_lost_in_transit=sum(
-                link.dropped_frames for link in self._touched.values()
+                link.dropped_frames for link in self._touched
             ),
             dead_device_drops=self._device_sum("dead_drops"),
             blackholed_flows=self._blackholed_flows(),

@@ -1,0 +1,75 @@
+"""The deterministic-zone map: which packages carry which contracts.
+
+Everything that executes *inside* a simulation — the engine, devices,
+fabrics, transports, workload generators, fault injection — is in the
+**deterministic zone**: wall-clock reads, unseeded randomness, identity
+ordering or float time arithmetic there can silently change event order
+and break golden-trace byte-identity.  Harness code that runs *around*
+simulations (experiment runners, perf benchmarking, telemetry export,
+closed-form analysis) is **relaxed**: it may read wall clocks and use
+floats freely because nothing it does feeds back into event order.
+
+The map is fail-closed: a package under ``repro`` that is not listed
+as relaxed is treated as deterministic, so a new simulation-path
+package is covered from its first commit.  Paths outside the ``repro``
+package (tests, benchmarks, examples) are relaxed.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Tuple, Union
+
+#: Simulation-path packages: every event fired here must be a pure
+#: function of (spec, seed).
+DETERMINISTIC_PACKAGES = frozenset(
+    {
+        "sim",
+        "core",
+        "fabrics",
+        "transport",
+        "net",
+        "baselines",
+        "workloads",
+        "faults",
+        "topology",
+        "pipeline",
+    }
+)
+
+#: Harness packages: run around simulations, never inside them.
+RELAXED_PACKAGES = frozenset(
+    {"experiments", "perf", "telemetry", "analysis", "lint"}
+)
+
+DETERMINISTIC = "deterministic"
+RELAXED = "relaxed"
+
+
+def module_parts(path: Union[str, Path]) -> Tuple[str, ...]:
+    """``path`` relative to the ``repro`` package root, as parts.
+
+    ``src/repro/sim/engine.py`` -> ``("repro", "sim", "engine.py")``;
+    paths not under a ``repro`` directory return their last two parts,
+    which is enough for the file-specific rule exemptions.
+    """
+    parts = Path(path).parts
+    for i in range(len(parts) - 1, -1, -1):
+        if parts[i] == "repro":
+            return tuple(parts[i:])
+    return tuple(parts[-2:])
+
+
+def zone_for_path(path: Union[str, Path]) -> str:
+    """``"deterministic"`` or ``"relaxed"`` for a source file path."""
+    parts = module_parts(path)
+    if not parts or parts[0] != "repro":
+        return RELAXED
+    if len(parts) < 3:
+        # Files directly under repro/ (the package __init__).
+        return RELAXED
+    package = parts[1]
+    if package in RELAXED_PACKAGES:
+        return RELAXED
+    # Fail closed: unknown packages under repro/ get the strict rules.
+    return DETERMINISTIC

@@ -147,6 +147,12 @@ class Event:
 class Simulator:
     """Integer-nanosecond discrete event scheduler."""
 
+    __slots__ = (
+        "_buckets", "_cursor", "_wheel_live", "_sorted_slot", "_spill",
+        "_now", "_seq", "_events_fired", "_cancelled", "_running",
+        "_probe", "_probe_interval", "_probe_due", "topology_epoch",
+    )
+
     #: Width of one calendar-wheel bucket.  64ns means any delay of at
     #: least one slot can never land in the bucket currently being
     #: drained, so mid-drain re-sorts only happen for sub-slot delays —
@@ -592,6 +598,8 @@ class PeriodicTask:
     meters.  The first firing happens after ``phase_ns`` (defaults to one
     full period) so several periodic tasks can be de-synchronized.
     """
+
+    __slots__ = ("_sim", "_period", "_fn", "_stopped", "_event", "_armed_at")
 
     def __init__(
         self,

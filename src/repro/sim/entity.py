@@ -19,7 +19,13 @@ class Entity:
 
     Subclasses implement :meth:`receive` to handle arriving frames and
     may use :meth:`attach_port` bookkeeping to learn their ports.
+
+    The base declares ``__slots__``: the hot-core device classes (FAs,
+    FEs) stay dict-free end to end, while edge/baseline subclasses
+    that skip ``__slots__`` simply get a ``__dict__`` back.
     """
+
+    __slots__ = ("sim", "name", "ports")
 
     def __init__(self, sim: "Simulator", name: str) -> None:
         self.sim = sim

@@ -14,7 +14,7 @@ from typing import Any, Callable, Generic, Iterator, Optional, TypeVar
 T = TypeVar("T")
 
 
-@dataclass
+@dataclass(slots=True)
 class QueueStats:
     """Counters shared by every queue in the system."""
 

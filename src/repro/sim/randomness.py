@@ -17,6 +17,8 @@ from typing import Dict
 class RandomStreams:
     """A factory of independent, reproducible ``random.Random`` streams."""
 
+    __slots__ = ("seed", "_streams")
+
     def __init__(self, seed: int = 0) -> None:
         self.seed = seed
         self._streams: Dict[str, random.Random] = {}

@@ -38,6 +38,8 @@ def percentile(samples: Sequence[float], pct: float) -> float:
 class Counter:
     """A named monotonically-increasing counter."""
 
+    __slots__ = ("name", "value")
+
     def __init__(self, name: str = "counter") -> None:
         self.name = name
         self.value = 0
@@ -61,6 +63,8 @@ class Histogram:
     percentiles, min/max and a fixed-bin distribution for plotting the
     paper's probability curves (Fig 9).
     """
+
+    __slots__ = ("name", "_samples")
 
     def __init__(self, name: str = "histogram") -> None:
         self.name = name
@@ -161,6 +165,8 @@ class TimeWeightedMean:
     level changes, then :meth:`value` integrates level x duration.
     """
 
+    __slots__ = ("_last_time", "_level", "_area", "_peak")
+
     def __init__(self, start_time_ns: int = 0, level: float = 0.0) -> None:
         self._last_time = start_time_ns
         self._level = level
@@ -201,6 +207,11 @@ class RateMeter:
     (amortized O(1) per :meth:`record`), bounding memory to one
     ``retention_ns`` of traffic regardless of run length.
     """
+
+    __slots__ = (
+        "name", "total_bytes", "first_ns", "last_ns", "retention_ns",
+        "_window", "_window_bytes",
+    )
 
     #: Default trailing-window retention: wide enough for the telemetry
     #: probes' cadences, narrow enough to stay a few hundred tuples per

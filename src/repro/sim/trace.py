@@ -19,7 +19,7 @@ from typing import Deque, Iterator, List, Optional, Union
 from repro.sim.engine import Simulator
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TraceRecord:
     """One traced event."""
 
@@ -48,6 +48,8 @@ class TraceRecord:
 
 class Tracer:
     """Category-gated ring buffer of simulation events."""
+
+    __slots__ = ("sim", "_records", "_enabled", "_all", "dropped")
 
     def __init__(self, sim: Simulator, capacity: int = 100_000) -> None:
         if capacity < 1:

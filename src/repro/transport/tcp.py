@@ -261,7 +261,7 @@ class TcpReceiver:
 
     def _insert(self, start: int, end: int) -> None:
         merged: List[Tuple[int, int]] = []
-        ranges = sorted(self._ranges + [(start, end)])
+        ranges = sorted([*self._ranges, (start, end)])
         for s, e in ranges:
             if merged and s <= merged[-1][1]:
                 merged[-1] = (merged[-1][0], max(merged[-1][1], e))

@@ -98,7 +98,7 @@ class TestDropTailAndEcn:
         dst = PortAddress(2, 0)
         for src_fa in (0, 1):
             src = hosts[PortAddress(src_fa, 0)]
-            for i in range(200):
+            for _ in range(200):
                 src.send_to(dst, 1500, flow_id=src_fa)
         net.run(5 * MILLISECOND)
         got = len(hosts[dst].received)
@@ -111,7 +111,7 @@ class TestDropTailAndEcn:
         net, hosts = build_push(spec, config=cfg)
         dst = PortAddress(2, 0)
         for src_fa in (0, 1):
-            for i in range(100):
+            for _ in range(100):
                 hosts[PortAddress(src_fa, 0)].send_to(dst, 1500, flow_id=src_fa)
         net.run(5 * MILLISECOND)
         marked = [p for _, p in hosts[dst].received if p.ecn]

@@ -27,6 +27,7 @@ from repro.faults import (
     link_up,
 )
 from repro.fabrics.push import PushFabricNetwork
+from repro.fabrics.registry import UnknownFabricError
 from repro.fabrics.stardust import StardustNetwork
 from repro.net.addressing import PortAddress
 from repro.perf.digest import run_digest
@@ -183,7 +184,7 @@ class TestSpecIntegration:
         assert kind_for_fabric("stardust") == "stardust"
         assert kind_for_fabric("push") == "tcp"
         assert kind_for_fabric("ethernet") == "tcp"
-        with pytest.raises(Exception):
+        with pytest.raises(UnknownFabricError):
             kind_for_fabric("warp-drive")
 
 
