@@ -29,12 +29,13 @@ from repro.experiments.registry import (
 from repro.fabrics.registry import UnknownFabricError, fabric_names, get_fabric
 from repro.experiments.runner import run_matrix
 from repro.experiments.spec import ScenarioSpec, kind_for_fabric
-from repro.experiments.store import ResultStore
+from repro.experiments.store import open_store
 from repro.experiments.summarize import (
     aggregate,
     format_resilience,
     format_table,
 )
+from repro.store.format import StoreFormatError
 
 
 def _parse_value(text: str) -> Any:
@@ -108,7 +109,7 @@ def cmd_run(args) -> int:
             sample_interval_ns=args.sample_interval_ns
         ).to_dict()
         specs = [s.with_updates(telemetry=telemetry) for s in specs]
-    store = None if args.no_cache else ResultStore(args.store)
+    store = None if args.no_cache else open_store(args.store, args.store_format)
     started = time.monotonic()
     results = run_matrix(
         specs, shards=args.shards, store=store, progress=print,
@@ -117,10 +118,15 @@ def cmd_run(args) -> int:
     elapsed = time.monotonic() - started
 
     if args.telemetry and store is not None:
-        for spec in specs:
-            sidecar = store.telemetry_path_for(spec)
-            if sidecar.exists():
-                print(f"telemetry: {sidecar}")
+        sidecar_for = getattr(store, "telemetry_path_for", None)
+        if sidecar_for is not None:
+            for spec in specs:
+                sidecar = sidecar_for(spec)
+                if sidecar.exists():
+                    print(f"telemetry: {sidecar}")
+        else:
+            # Record stores embed telemetry in the cell records.
+            print(f"telemetry: stored in-record under {store.root}")
 
     if args.json:
         print(json.dumps([r.to_dict() for r in results], indent=1))
@@ -143,6 +149,84 @@ def cmd_run(args) -> int:
         print("\nresilience:")
         print(resilience)
     return 0
+
+
+def cmd_query(args) -> int:
+    from repro.store.query import (
+        format_trend_diff,
+        store_records,
+        store_results,
+        verify_store,
+    )
+
+    root = args.store or _default_store_dir()
+    if args.verify:
+        stats = verify_store(root)
+        if stats["corrupt_blocks"]:
+            print(
+                f"warning: {stats['corrupt_blocks']} corrupt blocks "
+                f"skipped in {root}",
+                file=sys.stderr,
+            )
+    if args.list:
+        for record in store_records(
+            root, args.selector, processes=args.processes
+        ):
+            print(record["spec_key"])
+        return 0
+    if args.diff:
+        base = aggregate(
+            store_results(root, args.selector, processes=args.processes)
+        )
+        other = aggregate(
+            store_results(
+                args.diff, args.selector, processes=args.processes
+            )
+        )
+        print(
+            format_trend_diff(
+                base, other, base_label="base", other_label="other"
+            )
+        )
+        print(f"\nbase:  {root}\nother: {args.diff}")
+        return 0
+    results = store_results(root, args.selector, processes=args.processes)
+    if args.json:
+        print(json.dumps([r.to_dict() for r in results], indent=1))
+        return 0
+    if not results:
+        print(f"no cells match {args.selector!r} in {root}")
+        return 1
+    print(f"{len(results)} cells match {args.selector!r} in {root}\n")
+    print(format_table(aggregate(results)))
+    resilience = format_resilience(results)
+    if resilience:
+        print("\nresilience:")
+        print(resilience)
+    return 0
+
+
+def _default_store_dir() -> str:
+    import os
+
+    from repro.experiments.store import DEFAULT_STORE_DIR, STORE_DIR_ENV
+
+    return os.environ.get(STORE_DIR_ENV, DEFAULT_STORE_DIR)
+
+
+def cmd_migrate(args) -> int:
+    from repro.store.migrate import migrate_legacy
+    from repro.store.query import verify_store
+
+    report = migrate_legacy(args.src, args.dst, num_shards=args.shards)
+    print(report)
+    stats = verify_store(args.dst)
+    print(
+        f"destination: {stats['records']} records in {stats['blocks']} "
+        f"blocks, {stats['shard_bytes']} bytes, "
+        f"{stats['corrupt_blocks']} corrupt"
+    )
+    return 0 if stats["corrupt_blocks"] == 0 else 1
 
 
 def main(argv=None) -> int:
@@ -211,18 +295,71 @@ def main(argv=None) -> int:
         "--sample-interval-ns", type=int, default=10_000,
         help="telemetry sampling cadence (with --telemetry)",
     )
+    run.add_argument(
+        "--store-format", choices=("auto", "record", "legacy"),
+        default="auto",
+        help="force the store format (default: auto-detect; fresh "
+             "stores get the sharded record format)",
+    )
+
+    query = sub.add_parser(
+        "query",
+        help="aggregate stored sweeps without re-running anything",
+    )
+    query.add_argument(
+        "selector", nargs="?", default="",
+        help="spec-key prefix, e.g. scenario=permutation/fabric=*",
+    )
+    query.add_argument(
+        "--store", default=None, help="store directory (either format)"
+    )
+    query.add_argument(
+        "--json", action="store_true", help="emit raw results as JSON"
+    )
+    query.add_argument(
+        "--list", action="store_true",
+        help="print matching spec keys instead of aggregating",
+    )
+    query.add_argument(
+        "--diff", metavar="OTHERSTORE", default=None,
+        help="trend-diff aggregates against a second store",
+    )
+    query.add_argument(
+        "--processes", type=int, default=0,
+        help="decompress blocks on N processes (full-scan path)",
+    )
+    query.add_argument(
+        "--verify", action="store_true",
+        help="CRC-verify every block while reading",
+    )
+
+    migrate = sub.add_parser(
+        "migrate", help="import a legacy store into the record format"
+    )
+    migrate.add_argument("src", help="legacy one-JSON-per-cell directory")
+    migrate.add_argument("dst", help="destination record store")
+    migrate.add_argument(
+        "--shards", type=int, default=None,
+        help="shard count for the destination (default 8)",
+    )
 
     args = parser.parse_args(argv)
-    handler = {"list": cmd_list, "show": cmd_show, "run": cmd_run}[
-        args.command
-    ]
+    handler = {
+        "list": cmd_list,
+        "show": cmd_show,
+        "run": cmd_run,
+        "query": cmd_query,
+        "migrate": cmd_migrate,
+    }[args.command]
     try:
         return handler(args)
     except (
-        UnknownScenarioError, UnknownFabricError, ValueError, TypeError
+        UnknownScenarioError, UnknownFabricError, ValueError, TypeError,
+        FileNotFoundError, StoreFormatError,
     ) as exc:
-        # Bad scenario names, fabrics, kinds, parameters or config
-        # overrides all surface here as one-line errors, not tracebacks.
+        # Bad scenario names, fabrics, kinds, parameters, config
+        # overrides, missing stores and unreadable store formats all
+        # surface here as one-line errors, not tracebacks.
         print(f"error: {exc}", file=sys.stderr)
         return 2
 

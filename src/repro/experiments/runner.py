@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import random
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import Any, Dict, List, Optional, Sequence
 
 from repro.experiments.builders import build_network
@@ -77,8 +77,14 @@ class RunResult:
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "RunResult":
-        """Rebuild from :meth:`to_dict` output."""
-        return cls(**data)
+        """Rebuild from :meth:`to_dict` output.
+
+        Unknown keys are dropped rather than raised on: cells written
+        by a newer writer (extra result fields) must stay readable, not
+        take the whole store down with a ``TypeError``.
+        """
+        known = {f.name for f in fields(cls)}
+        return cls(**{k: v for k, v in data.items() if k in known})
 
     @property
     def mean_rate_gbps(self) -> float:
@@ -544,12 +550,28 @@ def run_matrix(
     notify = progress or (lambda _msg: None)
     results: List[Optional[RunResult]] = [None] * len(specs)
     pending: List[int] = []
+    rerun_uninstrumented = 0
     for i, spec in enumerate(specs):
         cached = store.get(spec) if store is not None else None
-        if cached is not None:
+        if cached is not None and (
+            spec.telemetry is None or cached.telemetry is not None
+        ):
             results[i] = cached
         else:
+            if cached is not None:
+                # The cell hash ignores the (hash-neutral) telemetry
+                # config, so an uninstrumented run can satisfy an
+                # instrumented request.  Serving it would silently drop
+                # the instrumentation the caller asked for — re-run.
+                rerun_uninstrumented += 1
+                store.misses += 1
+                store.hits -= 1
             pending.append(i)
+    if rerun_uninstrumented:
+        notify(
+            f"{rerun_uninstrumented} cached cells lack requested "
+            "telemetry; re-running instrumented"
+        )
     if store is not None and len(pending) < len(specs):
         notify(
             f"{len(specs) - len(pending)}/{len(specs)} cells from cache"
@@ -563,6 +585,12 @@ def run_matrix(
             results[i] = result
             if store is not None:
                 store.put(specs[i], result)
+    if store is not None:
+        # Record stores buffer puts into compressed blocks; make every
+        # fresh cell durable before handing results back.
+        flush = getattr(store, "flush", None)
+        if flush is not None:
+            flush()
     return [r for r in results if r is not None]
 
 

@@ -59,6 +59,22 @@ class ResultStore:
         self.root = Path(root)
         self.hits = 0
         self.misses = 0
+        self._sweep_orphans()
+
+    def _sweep_orphans(self) -> None:
+        """Remove ``*.tmp`` leftovers from writers killed mid-write.
+
+        ``atomic_write_json`` guarantees no half-written *cell* is ever
+        visible, but a kill between mkstemp and rename strands the temp
+        file itself; left alone those accumulate forever.
+        """
+        if not self.root.is_dir():
+            return
+        for orphan in self.root.glob("*.tmp"):
+            try:
+                orphan.unlink()
+            except OSError:
+                pass
 
     def path_for(self, spec: ScenarioSpec) -> Path:
         """Where this spec's result cell lives (whether or not present)."""
@@ -112,6 +128,12 @@ class ResultStore:
             from repro.telemetry.export import write_jsonl
 
             write_jsonl(self.telemetry_path_for(spec), telemetry)
+        else:
+            # Telemetry presence is part of the stored value: a put
+            # without telemetry must also retire any sidecar a previous
+            # instrumented run left, or get() would forever reattach
+            # stale samples to fresh results.
+            self.telemetry_path_for(spec).unlink(missing_ok=True)
         return path
 
     def cells(self) -> List[Path]:
@@ -133,4 +155,20 @@ class ResultStore:
         if self.root.is_dir():
             for sidecar in self.root.glob("*.telemetry.jsonl"):
                 sidecar.unlink()
+            for orphan in self.root.glob("*.tmp"):
+                orphan.unlink()
         return removed
+
+
+def open_store(root: Optional[os.PathLike] = None, store_format: str = "auto"):
+    """Open ``root`` as whichever store format it holds.
+
+    Compat facade over :func:`repro.store.open_store`: new sweeps land
+    on the sharded record format (:class:`repro.store.RecordStore`),
+    while directories of legacy ``<hash>.json`` cells keep opening as
+    :class:`ResultStore`.  Imported lazily so ``repro.experiments``
+    stays importable without the store package and vice versa.
+    """
+    from repro.store import open_store as _open_store
+
+    return _open_store(root, store_format)

@@ -1,0 +1,39 @@
+"""Store-level metadata stamping — the one wall-clock-aware module.
+
+Everything else under :mod:`repro.store` is deterministic-zone code
+(identical inputs produce identical bytes); creation timestamps and
+writer identification are quarantined here so the lint zone map can
+keep the format/index/shard modules under the strict rules.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict
+
+from repro.store.format import FORMAT_VERSION, SCHEMA_VERSION
+
+#: Bumped when the *writer logic* changes in ways worth recording in
+#: provenance (not necessarily format-breaking).
+WRITER_VERSION = "repro.store/1.0"
+
+STORE_META_NAME = "store.meta.json"
+
+
+def stamp_store_meta(params: Dict[str, Any]) -> Dict[str, Any]:
+    """The ``store.meta.json`` payload for a newly created store.
+
+    ``params`` are the creation parameters (shard count, codec, ...);
+    the stamp adds format/schema versions, the writer identity and a
+    wall-clock creation time.  This is provenance metadata only — no
+    reader decision may depend on the timestamp.
+    """
+    return {
+        "format_version": FORMAT_VERSION,
+        "schema_version": SCHEMA_VERSION,
+        "writer": WRITER_VERSION,
+        "created_at": time.strftime(
+            "%Y-%m-%dT%H:%M:%SZ", time.gmtime()
+        ),
+        "params": dict(params),
+    }

@@ -1,0 +1,265 @@
+"""One append-only shard file plus its index sidecar.
+
+A :class:`Shard` owns a single ``shard-NN.rsd`` file (see
+:mod:`repro.store.format` for the byte layout) and its ``.rsx`` index
+sidecar.  The contract mirrors what ZNS-style append-only storage
+formalizes: writers only ever append whole blocks, readers verify
+every checksum, and recovery is positional —
+
+* a **torn tail** (writer killed mid-append) is detected on open and
+  truncated away before the next append, losing only the interrupted
+  block;
+* a **corrupt block** mid-file (bit rot, a flipped byte) fails its CRC,
+  is skipped, and the scan resyncs at the next block magic — one bad
+  block never poisons the rest of the shard;
+* the index sidecar is a cache: stale or missing entries trigger a
+  tail rescan of the shard bytes, never the other way around.
+
+Single-writer, multi-reader: appends happen from one process (the
+sweep parent); concurrent readers see a consistent prefix.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
+
+from repro.store.format import (
+    BlockCorruptError,
+    CODEC_ZLIB,
+    StoreFormatError,
+    TruncatedBlockError,
+    encode_block,
+    encode_shard_header,
+    find_block,
+    read_block,
+    read_shard_header,
+)
+from repro.store.index import ShardIndex
+
+#: (key, spec_key, payload) — what callers append and scans yield.
+Record = Tuple[str, str, bytes]
+
+ExtractFn = Callable[[bytes], Tuple[str, str]]
+
+
+def default_extract(payload: bytes) -> Tuple[str, str]:
+    """Pull ``(key, spec_key)`` out of a JSON record payload."""
+    obj = json.loads(payload)
+    return str(obj["key"]), str(obj["spec_key"])
+
+
+class Shard:
+    """Appendable, checksummed, indexed record shard."""
+
+    def __init__(
+        self,
+        path: Path,
+        header_meta: Optional[Dict[str, Any]] = None,
+        codec: int = CODEC_ZLIB,
+        level: int = 6,
+        extract: ExtractFn = default_extract,
+        create: bool = True,
+    ) -> None:
+        self.path = Path(path)
+        self.index_path = self.path.with_suffix(".rsx")
+        self.codec = codec
+        self.level = level
+        self.extract = extract
+        self.index = ShardIndex(self.index_path)
+        #: Blocks rejected by CRC/framing checks, over this handle's
+        #: lifetime (open-time tail scan + later reads).
+        self.corrupt_blocks = 0
+        self.header_meta: Dict[str, Any] = {}
+        #: End of the last structurally valid block; appends truncate
+        #: any torn bytes beyond it first.
+        self._valid_end = 0
+        self._first_block = 0
+        if self.path.exists() and self.path.stat().st_size > 0:
+            self._open_existing()
+        elif create:
+            self._create(header_meta or {})
+        else:
+            raise FileNotFoundError(self.path)
+
+    # ------------------------------------------------------------------
+    # Open / create
+    # ------------------------------------------------------------------
+    def _create(self, header_meta: Dict[str, Any]) -> None:
+        self.header_meta = dict(header_meta)
+        header = encode_shard_header(self.header_meta)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        # "wb" not "xb": the only way here with an existing file is a
+        # zero-byte leftover, which holds no records to protect.
+        with self.path.open("wb") as fh:
+            fh.write(header)
+        self._first_block = len(header)
+        self._valid_end = len(header)
+        self.index.load(len(header), self._first_block)
+
+    def _open_existing(self) -> None:
+        buf = self.path.read_bytes()
+        self.header_meta, self._first_block = read_shard_header(buf)
+        size = len(buf)
+        resume = self.index.load(size, self._first_block)
+        self._valid_end = resume
+        if resume < size:
+            self._scan_tail(buf, resume)
+
+    def _scan_tail(self, buf: bytes, offset: int) -> None:
+        """Index every valid block from ``offset`` to EOF.
+
+        Complete blocks beyond the sidecar's coverage (writer killed
+        between shard append and index append) are re-indexed; a torn
+        final block marks ``_valid_end`` so the next append truncates
+        it; corrupt blocks are skipped with a resync.
+        """
+        size = len(buf)
+        while offset < size:
+            try:
+                payloads, end = read_block(buf, offset)
+            except TruncatedBlockError:
+                # Torn tail: everything from here is a failed append.
+                break
+            except BlockCorruptError as exc:
+                self.corrupt_blocks += 1
+                nxt = find_block(buf, exc.resync_from)
+                if nxt < 0:
+                    break
+                offset = nxt
+                continue
+            pairs = [self.extract(p) for p in payloads]
+            self.index.add_block(offset, end, pairs)
+            try:
+                self.index.append_line(offset, end, pairs)
+            except OSError:
+                pass  # read-only media; in-memory index still right
+            offset = end
+            self._valid_end = end
+
+    # ------------------------------------------------------------------
+    # Append
+    # ------------------------------------------------------------------
+    def append(self, records: List[Record]) -> Tuple[int, int]:
+        """Append one block holding ``records``; returns its span.
+
+        The shard write lands before the index write, so a crash
+        between the two leaves a complete, recoverable block (the tail
+        scan re-indexes it) — never a dangling index entry.
+        """
+        if not records:
+            raise ValueError("append needs at least one record")
+        block = encode_block(
+            [payload for _, _, payload in records], self.codec, self.level
+        )
+        size = self.path.stat().st_size
+        if size > self._valid_end:
+            # Torn tail from a killed writer: cut it off before reuse.
+            os.truncate(self.path, self._valid_end)
+        with self.path.open("ab") as fh:
+            offset = fh.tell()
+            fh.write(block)
+        end = offset + len(block)
+        pairs = [(key, spec_key) for key, spec_key, _ in records]
+        self.index.add_block(offset, end, pairs)
+        self.index.append_line(offset, end, pairs)
+        self._valid_end = end
+        return offset, end
+
+    # ------------------------------------------------------------------
+    # Read
+    # ------------------------------------------------------------------
+    def _read_span(self, offset: int, length: int) -> bytes:
+        with self.path.open("rb") as fh:
+            fh.seek(offset)
+            return fh.read(length)
+
+    def get(self, key: str) -> Optional[bytes]:
+        """The latest payload stored under ``key`` (CRC-verified)."""
+        span = self.index.get(key)
+        if span is None:
+            return None
+        offset, length = span
+        buf = self._read_span(offset, length)
+        try:
+            payloads, _ = read_block(buf, 0)
+        except BlockCorruptError:
+            self.corrupt_blocks += 1
+            return None
+        found: Optional[bytes] = None
+        for payload in payloads:
+            record_key, _ = self.extract(payload)
+            if record_key == key:
+                found = payload  # keep scanning: latest in block wins
+        return found
+
+    def get_many(self, keys: List[str]) -> Dict[str, bytes]:
+        """Latest payloads for ``keys``, decompressing each block once.
+
+        Records that share a block (batched appends) cost one read and
+        one decompression between them — the amortization that makes
+        prefix queries over 10^4+ cells cheap.
+        """
+        spans: Dict[Tuple[int, int], List[str]] = {}
+        for key in keys:
+            span = self.index.get(key)
+            if span is not None:
+                spans.setdefault(span, []).append(key)
+        out: Dict[str, bytes] = {}
+        for (offset, length), wanted in sorted(spans.items()):
+            buf = self._read_span(offset, length)
+            try:
+                payloads, _ = read_block(buf, 0)
+            except BlockCorruptError:
+                self.corrupt_blocks += 1
+                continue
+            want = set(wanted)
+            for payload in payloads:
+                record_key, _ = self.extract(payload)
+                if record_key in want:
+                    out[record_key] = payload  # latest in block wins
+        return out
+
+    def keys_for_prefix(self, prefix: str) -> Iterator[Tuple[str, str]]:
+        """Indexed ``(spec_key, key)`` pairs under a spec-key prefix."""
+        return self.index.prefix_pairs(prefix)
+
+    def blocks(self) -> List[Tuple[int, int]]:
+        """Spans of every indexed block (for parallel scans)."""
+        return list(self.index.blocks)
+
+    def scan(self) -> Iterator[Record]:
+        """Every valid record in file order, straight from the bytes.
+
+        This is the integrity path: it ignores the index, verifies
+        every checksum, skips corrupt blocks (counting them) and stops
+        at a torn tail.  Later duplicates of a key supersede earlier
+        ones; dedup is the caller's policy.
+        """
+        buf = self.path.read_bytes()
+        try:
+            _, offset = read_shard_header(buf)
+        except StoreFormatError:
+            return
+        size = len(buf)
+        while offset < size:
+            try:
+                payloads, end = read_block(buf, offset)
+            except TruncatedBlockError:
+                return
+            except BlockCorruptError as exc:
+                self.corrupt_blocks += 1
+                nxt = find_block(buf, exc.resync_from)
+                if nxt < 0:
+                    return
+                offset = nxt
+                continue
+            for payload in payloads:
+                key, spec_key = self.extract(payload)
+                yield key, spec_key, payload
+            offset = end
+
+    def __len__(self) -> int:
+        return len(self.index)

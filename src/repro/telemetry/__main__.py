@@ -20,11 +20,15 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.telemetry.export import load_artifact, write_perfetto
+from repro.telemetry.export import load_artifact, write_jsonl, write_perfetto
 
 
 def cmd_export(args: argparse.Namespace) -> int:
-    artifact = load_artifact(args.input)
+    artifact = load_artifact(args.input, key=args.key)
+    if args.jsonl:
+        count = write_jsonl(args.output, artifact)
+        print(f"wrote {count} JSONL lines to {args.output}")
+        return 0
     count = write_perfetto(args.output, artifact)
     print(
         f"wrote {count} trace events "
@@ -35,7 +39,7 @@ def cmd_export(args: argparse.Namespace) -> int:
 
 
 def cmd_summary(args: argparse.Namespace) -> int:
-    artifact = load_artifact(args.input)
+    artifact = load_artifact(args.input, key=args.key)
     print(f"schema:      {artifact.get('schema')}")
     print(f"sim time:    {artifact.get('sim_time_ns')} ns")
     print(f"samples:     {artifact.get('samples')}")
@@ -70,11 +74,21 @@ def main(argv=None) -> int:
         "export", help="write a Perfetto/Chrome-trace JSON timeline"
     )
     p_export.add_argument(
-        "input", help="telemetry .jsonl sidecar or result cell .json"
+        "input",
+        help="telemetry .jsonl sidecar, result cell .json, or a "
+             "record-store directory",
     )
     p_export.add_argument(
         "-o", "--output", default="timeline.json",
         help="output path (default: timeline.json)",
+    )
+    p_export.add_argument(
+        "--key", default=None,
+        help="cell key / spec-key prefix (record-store inputs)",
+    )
+    p_export.add_argument(
+        "--jsonl", action="store_true",
+        help="write the compact JSONL artifact instead of Perfetto",
     )
     p_export.set_defaults(fn=cmd_export)
 
@@ -82,12 +96,22 @@ def main(argv=None) -> int:
         "summary", help="print what an artifact contains"
     )
     p_summary.add_argument(
-        "input", help="telemetry .jsonl sidecar or result cell .json"
+        "input",
+        help="telemetry .jsonl sidecar, result cell .json, or a "
+             "record-store directory",
+    )
+    p_summary.add_argument(
+        "--key", default=None,
+        help="cell key / spec-key prefix (record-store inputs)",
     )
     p_summary.set_defaults(fn=cmd_summary)
 
     args = parser.parse_args(argv)
-    return args.fn(args)
+    try:
+        return args.fn(args)
+    except (ValueError, FileNotFoundError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -205,14 +205,19 @@ def read_jsonl(path: PathLike) -> Dict[str, Any]:
     return artifact
 
 
-def load_artifact(path: PathLike) -> Dict[str, Any]:
-    """Load a telemetry artifact from either shape.
+def load_artifact(path: PathLike, key: Optional[str] = None) -> Dict[str, Any]:
+    """Load a telemetry artifact from any shape it is stored in.
 
-    Accepts a ``.jsonl`` sidecar, a bare artifact JSON, or a stored
-    result cell (``{"result": {"telemetry": {...}}}`` or a result dict
-    with a ``telemetry`` key).
+    Accepts a ``.jsonl`` sidecar, a bare artifact JSON, a stored result
+    cell (``{"result": {"telemetry": {...}}}`` or a result dict with a
+    ``telemetry`` key), or a **record-store directory** — there
+    telemetry lives inside the cell records, selected by ``key``
+    (a spec content hash or spec-key prefix); with no ``key`` the
+    store must hold exactly one instrumented cell.
     """
     path = Path(path)
+    if path.is_dir():
+        return _artifact_from_record_store(path, key)
     if path.suffix == ".jsonl":
         return read_jsonl(path)
     data = json.loads(path.read_text(encoding="utf-8"))
@@ -224,3 +229,40 @@ def load_artifact(path: PathLike) -> Dict[str, Any]:
     if isinstance(result, dict) and result.get("telemetry"):
         return result["telemetry"]
     raise ValueError(f"no telemetry artifact found in {path}")
+
+
+def _artifact_from_record_store(
+    root: Path, key: Optional[str]
+) -> Dict[str, Any]:
+    """Telemetry out of a sharded record store's cell records."""
+    from repro.store import RecordStore, is_record_store
+
+    if not is_record_store(root):
+        raise ValueError(
+            f"{root} is a directory but not a record store; pass a "
+            "telemetry .jsonl sidecar or result cell instead"
+        )
+    store = RecordStore(root)
+    if key is not None:
+        record = store.get_record(key)
+        if record is not None:
+            telemetry = record.get("result", {}).get("telemetry")
+            if telemetry:
+                return telemetry
+            raise ValueError(f"cell {key} in {root} has no telemetry")
+    instrumented = [
+        record
+        for record in store.iter_records(key or "")
+        if record.get("result", {}).get("telemetry")
+    ]
+    if not instrumented:
+        raise ValueError(
+            f"no instrumented cells match {key or '*'!r} in {root}"
+        )
+    if len(instrumented) > 1:
+        keys = ", ".join(r["key"] for r in instrumented[:5])
+        raise ValueError(
+            f"{len(instrumented)} instrumented cells match in {root}; "
+            f"pick one with its key ({keys}, ...)"
+        )
+    return instrumented[0]["result"]["telemetry"]

@@ -1,0 +1,509 @@
+"""repro.store: binary framing, shard recovery, queries, migration —
+plus the result-cache correctness regressions the record format fixes."""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+
+import pytest
+
+from repro.experiments import (
+    ResultStore,
+    RunResult,
+    TopologySpec,
+    build_scenario,
+    run_matrix,
+)
+from repro.experiments.store import open_store as facade_open_store
+from repro.store import (
+    FORMAT_VERSION,
+    RecordStore,
+    Shard,
+    StoreFormatError,
+    is_record_store,
+    migrate_legacy,
+    open_store,
+    prefix_from_selector,
+    scan_store,
+    store_records,
+    store_results,
+    verify_store,
+)
+from repro.store.format import (
+    BlockCorruptError,
+    CODEC_BZ2,
+    CODEC_RAW,
+    CODEC_ZLIB,
+    TruncatedBlockError,
+    encode_block,
+    encode_shard_header,
+    read_block,
+    read_shard_header,
+)
+from repro.store.synth import fill_store, synthetic_cells
+from repro.sim.units import MICROSECOND
+
+#: Same tiny topology the experiments tests use, so runner-integration
+#: tests stay fast.
+TINY = TopologySpec(
+    "one_tier", dict(num_fas=3, uplinks_per_fa=2, hosts_per_fa=1)
+)
+
+
+def tiny_permutation(kind: str = "stardust", seed: int = 3, **updates):
+    spec = build_scenario(
+        "permutation",
+        kind=kind,
+        seed=seed,
+        topology=TINY,
+        warmup_ns=100 * MICROSECOND,
+        measure_ns=400 * MICROSECOND,
+    )
+    return spec.with_updates(**updates) if updates else spec
+
+
+# ----------------------------------------------------------------------
+# Binary framing
+# ----------------------------------------------------------------------
+
+
+class TestFormat:
+    PAYLOADS = [b'{"key":"a"}', b'{"key":"b"}' * 40, b"x"]
+
+    @pytest.mark.parametrize("codec", [CODEC_RAW, CODEC_ZLIB, CODEC_BZ2])
+    def test_block_round_trip(self, codec):
+        block = encode_block(self.PAYLOADS, codec)
+        payloads, end = read_block(block, 0)
+        assert payloads == self.PAYLOADS
+        assert end == len(block)
+
+    def test_flipped_byte_fails_block_crc(self):
+        block = bytearray(encode_block(self.PAYLOADS, CODEC_ZLIB))
+        block[len(block) // 2] ^= 0xFF
+        with pytest.raises(BlockCorruptError):
+            read_block(bytes(block), 0)
+
+    def test_truncated_block_is_distinguished(self):
+        block = encode_block(self.PAYLOADS, CODEC_ZLIB)
+        with pytest.raises(TruncatedBlockError):
+            read_block(block[:-3], 0)
+        # ... and a corrupt magic is NOT a truncation:
+        garbled = b"XXXX" + block[4:]
+        with pytest.raises(BlockCorruptError) as excinfo:
+            read_block(garbled, 0)
+        assert not isinstance(excinfo.value, TruncatedBlockError)
+
+    def test_shard_header_round_trip(self):
+        meta = {"shard": 3, "num_shards": 8}
+        header = encode_shard_header(meta)
+        parsed, first_block = read_shard_header(header + b"tail")
+        assert parsed == meta
+        assert first_block == len(header)
+
+    def test_newer_format_version_is_refused(self):
+        header = bytearray(encode_shard_header({}))
+        struct.pack_into("<H", header, 8, FORMAT_VERSION + 1)
+        with pytest.raises(StoreFormatError, match="newer"):
+            read_shard_header(bytes(header))
+
+
+# ----------------------------------------------------------------------
+# Shard files: recovery paths
+# ----------------------------------------------------------------------
+
+
+def _records(tag: str, n: int):
+    return [
+        (
+            f"{tag}{i:03d}",
+            f"scenario={tag}/{i:03d}",
+            json.dumps({"key": f"{tag}{i:03d}", "spec_key": f"scenario={tag}/{i:03d}"}).encode(),
+        )
+        for i in range(n)
+    ]
+
+
+class TestShardRecovery:
+    def test_append_get_round_trip(self, tmp_path):
+        shard = Shard(tmp_path / "s.rsd", {"shard": 0})
+        records = _records("a", 5)
+        shard.append(records)
+        for key, _, payload in records:
+            assert shard.get(key) == payload
+        assert shard.get("missing") is None
+        assert len(shard) == 5
+
+    def test_corrupt_block_is_skipped_and_scan_continues(self, tmp_path):
+        path = tmp_path / "s.rsd"
+        shard = Shard(path, {"shard": 0})
+        first = _records("a", 4)
+        second = _records("b", 4)
+        span = shard.append(first)
+        shard.append(second)
+        data = bytearray(path.read_bytes())
+        data[(span[0] + span[1]) // 2] ^= 0xFF  # inside block 1
+        path.write_bytes(data)
+
+        reopened = Shard(path, {"shard": 0})
+        scanned = {key for key, _, _ in reopened.scan()}
+        assert scanned == {key for key, _, _ in second}
+        assert reopened.corrupt_blocks >= 1
+        # Index entries into the bad block fail their CRC on read and
+        # are reported missing, never served corrupted.
+        assert reopened.get("b001") is not None
+
+    def test_torn_tail_is_truncated_on_next_append(self, tmp_path):
+        path = tmp_path / "s.rsd"
+        shard = Shard(path, {"shard": 0})
+        shard.append(_records("a", 4))
+        shard.append(_records("b", 4))
+        os.truncate(path, path.stat().st_size - 5)  # kill mid-append
+
+        reopened = Shard(path, {"shard": 0})
+        assert {k for k, _, _ in reopened.scan()} == {
+            k for k, _, _ in _records("a", 4)
+        }
+        reopened.append(_records("c", 2))
+        final = Shard(path, {"shard": 0})
+        keys = {k for k, _, _ in final.scan()}
+        assert keys == {"a000", "a001", "a002", "a003", "c000", "c001"}
+        assert final.corrupt_blocks == 0
+
+    def test_index_sidecar_self_heals(self, tmp_path):
+        path = tmp_path / "s.rsd"
+        shard = Shard(path, {"shard": 0})
+        records = _records("a", 6)
+        shard.append(records[:3])
+        shard.append(records[3:])
+        sidecar = path.with_suffix(".rsx")
+        lines = sidecar.read_text().splitlines()
+        sidecar.write_text(lines[0] + "\n{not json\n")
+
+        reopened = Shard(path, {"shard": 0})
+        for key, _, payload in records:
+            assert reopened.get(key) == payload
+        # The sidecar was rebuilt from the shard bytes, not trusted.
+        healed = Shard(path, {"shard": 0})
+        assert len(healed) == 6
+
+    def test_missing_sidecar_is_rebuilt(self, tmp_path):
+        path = tmp_path / "s.rsd"
+        shard = Shard(path, {"shard": 0})
+        shard.append(_records("a", 3))
+        path.with_suffix(".rsx").unlink()
+        reopened = Shard(path, {"shard": 0})
+        assert len(reopened) == 3
+
+
+# ----------------------------------------------------------------------
+# RecordStore
+# ----------------------------------------------------------------------
+
+
+class TestRecordStore:
+    def test_round_trip_and_buffered_reads(self, tmp_path):
+        store = RecordStore(tmp_path, flush_records=1000)
+        cells = list(synthetic_cells(10))
+        for spec, result in cells:
+            store.put(spec, result)
+        # Un-flushed records must still be visible to get()...
+        assert store.get(cells[0][0]).to_dict() == cells[0][1].to_dict()
+        store.flush()
+        # ... and to a brand-new handle after flush.
+        fresh = RecordStore(tmp_path)
+        for spec, result in cells:
+            assert fresh.get(spec).to_dict() == result.to_dict()
+        assert len(fresh) == 10
+
+    def test_prefix_query_matches_brute_force(self, tmp_path):
+        store = RecordStore(tmp_path)
+        cells = list(synthetic_cells(45))
+        fill_store(store, 45)
+        for selector in (
+            "scenario=incast",
+            "scenario=incast/fabric=push",
+            "scenario=mixed/fabric=push/transport=dctcp",
+            "fabric=push",  # no match: selectors are prefixes
+            "",
+        ):
+            got = {r["key"] for r in store.iter_records(selector)}
+            prefix = prefix_from_selector(selector)
+            expect = {
+                spec.content_hash()
+                for spec, _ in cells
+                if f"scenario={spec.scenario}/fabric={spec.fabric}"
+                f"/transport={spec.transport}/seed={spec.seed:08d}"
+                f"/{spec.content_hash()}".startswith(prefix)
+            }
+            assert got == expect, selector
+
+    def test_uninstrumented_put_replaces_instrumented_record(self, tmp_path):
+        # The record-store version of the stale-sidecar rule: telemetry
+        # presence is part of the stored value.
+        store = RecordStore(tmp_path, flush_records=1)
+        spec, result = next(synthetic_cells(1))
+        result.telemetry = {"schema": 1, "series": [], "spans": []}
+        store.put(spec, result)
+        assert store.get(spec).telemetry is not None
+
+        result.telemetry = None
+        store.put(spec, result)
+        assert store.get(spec).telemetry is None
+
+    def test_tmp_orphans_swept_on_open(self, tmp_path):
+        (tmp_path / "dead.tmp").write_text("leftover")
+        RecordStore(tmp_path)
+        assert not (tmp_path / "dead.tmp").exists()
+
+    def test_clear_removes_shards_keeps_meta(self, tmp_path):
+        store = RecordStore(tmp_path)
+        fill_store(store, 12)
+        assert store.clear() == 12
+        assert len(RecordStore(tmp_path)) == 0
+        assert is_record_store(tmp_path)
+
+    def test_newer_store_format_is_refused(self, tmp_path):
+        RecordStore(tmp_path)
+        meta_path = tmp_path / "store.meta.json"
+        meta = json.loads(meta_path.read_text())
+        meta["format_version"] = FORMAT_VERSION + 1
+        meta_path.write_text(json.dumps(meta))
+        with pytest.raises(StoreFormatError):
+            RecordStore(tmp_path)
+
+
+class TestOpenStore:
+    def test_fresh_directory_gets_record_format(self, tmp_path):
+        assert isinstance(open_store(tmp_path / "new"), RecordStore)
+
+    def test_legacy_cells_keep_legacy_format(self, tmp_path):
+        legacy = ResultStore(tmp_path)
+        spec, result = next(synthetic_cells(1))
+        legacy.put(spec, result)
+        opened = open_store(tmp_path)
+        assert isinstance(opened, ResultStore)
+        assert facade_open_store(tmp_path).get(spec) is not None
+
+    def test_forced_formats(self, tmp_path):
+        assert isinstance(
+            open_store(tmp_path / "a", "record"), RecordStore
+        )
+        assert isinstance(
+            open_store(tmp_path / "b", "legacy"), ResultStore
+        )
+        with pytest.raises(ValueError):
+            open_store(tmp_path, "parquet")
+
+
+# ----------------------------------------------------------------------
+# Queries & verification
+# ----------------------------------------------------------------------
+
+
+class TestQuery:
+    def test_scan_matches_indexed_reads(self, tmp_path):
+        fill_store(RecordStore(tmp_path), 30)
+        indexed = store_records(tmp_path, "scenario=uniform_random")
+        scanned = scan_store(tmp_path, "scenario=uniform_random").records
+        assert indexed == scanned
+        parallel = store_records(
+            tmp_path, "scenario=uniform_random", processes=3
+        )
+        assert parallel == indexed
+
+    def test_verify_counts_corruption(self, tmp_path):
+        fill_store(RecordStore(tmp_path), 40)
+        clean = verify_store(tmp_path)
+        assert clean["corrupt_blocks"] == 0
+        assert clean["records"] == 40
+
+        shard = max(
+            tmp_path.glob("*.rsd"), key=lambda p: p.stat().st_size
+        )
+        data = bytearray(shard.read_bytes())
+        data[len(data) // 2] ^= 0xFF
+        shard.write_bytes(data)
+        dirty = verify_store(tmp_path)
+        assert dirty["corrupt_blocks"] >= 1
+        assert 0 < dirty["records"] < 40
+
+    def test_store_results_speaks_both_formats(self, tmp_path):
+        legacy_root = tmp_path / "legacy"
+        record_root = tmp_path / "record"
+        legacy = ResultStore(legacy_root)
+        record = RecordStore(record_root)
+        for spec, result in synthetic_cells(15):
+            legacy.put(spec, result)
+            record.put(spec, result)
+        record.flush()
+        a = [r.to_dict() for r in store_results(legacy_root, "scenario=incast")]
+        b = [r.to_dict() for r in store_results(record_root, "scenario=incast")]
+        assert a == b
+        assert a  # the selector actually matched something
+
+
+class TestMigration:
+    def test_round_trip_is_bit_identical(self, tmp_path):
+        src, dst = tmp_path / "legacy", tmp_path / "record"
+        legacy = ResultStore(src)
+        cells = list(synthetic_cells(25))
+        for spec, result in cells:
+            legacy.put(spec, result)
+        report = migrate_legacy(src, dst)
+        assert report.cells == 25
+        migrated = RecordStore(dst)
+        for spec, result in cells:
+            assert migrated.get(spec).to_dict() == result.to_dict()
+
+    def test_sidecar_telemetry_lands_in_record(self, tmp_path):
+        src, dst = tmp_path / "legacy", tmp_path / "record"
+        legacy = ResultStore(src)
+        spec, result = next(synthetic_cells(1))
+        result.telemetry = {"schema": 1, "series": [], "spans": [],
+                            "samples": 7}
+        legacy.put(spec, result)  # writes cell + .telemetry.jsonl sidecar
+        report = migrate_legacy(src, dst)
+        assert report.with_telemetry == 1
+        got = RecordStore(dst).get(spec)
+        assert got.telemetry["samples"] == 7
+
+    def test_unreadable_cells_are_skipped_not_fatal(self, tmp_path):
+        src, dst = tmp_path / "legacy", tmp_path / "record"
+        legacy = ResultStore(src)
+        for spec, result in synthetic_cells(3):
+            legacy.put(spec, result)
+        (src / "broken.json").write_text("{nope")
+        report = migrate_legacy(src, dst)
+        assert report.cells == 3
+        assert report.skipped == 1
+
+    def test_refuses_in_place_migration(self, tmp_path):
+        with pytest.raises(ValueError):
+            migrate_legacy(tmp_path, tmp_path)
+
+
+# ----------------------------------------------------------------------
+# Legacy ResultStore regressions
+# ----------------------------------------------------------------------
+
+
+class TestLegacyStoreRegressions:
+    def test_uninstrumented_put_retires_stale_sidecar(self, tmp_path):
+        store = ResultStore(tmp_path)
+        spec, result = next(synthetic_cells(1))
+        result.telemetry = {"schema": 1, "series": [], "spans": []}
+        store.put(spec, result)
+        assert store.telemetry_path_for(spec).exists()
+
+        result.telemetry = None
+        store.put(spec, result)
+        assert not store.telemetry_path_for(spec).exists()
+        assert store.get(spec).telemetry is None
+
+    def test_tmp_orphans_swept_on_open_and_clear(self, tmp_path):
+        tmp_path.mkdir(exist_ok=True)
+        (tmp_path / "abc123.tmp").write_text("killed writer")
+        store = ResultStore(tmp_path)
+        assert not (tmp_path / "abc123.tmp").exists()
+        (tmp_path / "def456.tmp").write_text("killed writer")
+        store.clear()
+        assert not (tmp_path / "def456.tmp").exists()
+
+    def test_from_dict_tolerates_unknown_keys(self):
+        spec, result = next(synthetic_cells(1))
+        data = result.to_dict()
+        data["a_future_field"] = {"anything": 1}
+        rebuilt = RunResult.from_dict(data)
+        assert rebuilt.to_dict() == result.to_dict()
+
+
+# ----------------------------------------------------------------------
+# Runner integration
+# ----------------------------------------------------------------------
+
+
+class TestRunnerIntegration:
+    def test_run_matrix_caches_on_record_store(self, tmp_path):
+        store = RecordStore(tmp_path)
+        specs = [tiny_permutation(seed=s) for s in (3, 4)]
+        first = run_matrix(specs, store=store)
+        assert store.hits == 0
+        # run_matrix flushed, so a fresh handle sees both cells.
+        fresh = RecordStore(tmp_path)
+        second = run_matrix(specs, store=fresh)
+        assert second == first
+        assert fresh.hits == 2
+
+    def test_telemetry_request_reruns_uninstrumented_cache(self, tmp_path):
+        from repro.telemetry.probes import TelemetryConfig
+
+        store = RecordStore(tmp_path)
+        spec = tiny_permutation()
+        run_matrix([spec], store=store)
+        assert store.get(spec).telemetry is None
+
+        instrumented = spec.with_updates(
+            telemetry=TelemetryConfig(sample_interval_ns=50_000).to_dict()
+        )
+        # Same content hash: the uninstrumented cell would satisfy the
+        # lookup, silently dropping the requested instrumentation.
+        assert instrumented.content_hash() == spec.content_hash()
+        messages = []
+        results = run_matrix(
+            [instrumented], store=store, progress=messages.append
+        )
+        assert results[0].telemetry is not None
+        assert any("re-running" in m for m in messages)
+        # The instrumented re-run replaced the stored cell.
+        assert store.get(instrumented).telemetry is not None
+
+    def test_instrumented_cache_hit_still_serves(self, tmp_path):
+        from repro.telemetry.probes import TelemetryConfig
+
+        store = RecordStore(tmp_path)
+        spec = tiny_permutation(
+            telemetry=TelemetryConfig(sample_interval_ns=50_000).to_dict()
+        )
+        run_matrix([spec], store=store)
+        misses = store.misses
+        run_matrix([spec], store=store)
+        assert store.misses == misses  # served from cache
+
+    def test_legacy_store_telemetry_rerun(self, tmp_path):
+        # The same regression through the legacy format: a stale
+        # uninstrumented cell must not satisfy an instrumented request.
+        from repro.telemetry.probes import TelemetryConfig
+
+        store = ResultStore(tmp_path)
+        spec = tiny_permutation()
+        run_matrix([spec], store=store)
+        instrumented = spec.with_updates(
+            telemetry=TelemetryConfig(sample_interval_ns=50_000).to_dict()
+        )
+        results = run_matrix([instrumented], store=store)
+        assert results[0].telemetry is not None
+
+
+# ----------------------------------------------------------------------
+# Synthetic sweep determinism (what the nightly job leans on)
+# ----------------------------------------------------------------------
+
+
+class TestSynth:
+    def test_cells_are_deterministic(self):
+        a = [
+            (s.content_hash(), r.to_dict())
+            for s, r in synthetic_cells(20, seed=9)
+        ]
+        b = [
+            (s.content_hash(), r.to_dict())
+            for s, r in synthetic_cells(20, seed=9)
+        ]
+        assert a == b
+
+    def test_specs_are_valid_and_results_sorted(self):
+        spec, result = next(synthetic_cells(1))
+        assert spec.content_hash() == result.spec_hash
+        assert result.flow_rates_gbps == sorted(result.flow_rates_gbps)
