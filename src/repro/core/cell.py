@@ -93,15 +93,20 @@ class Cell:
     reachable: Optional[frozenset] = None
     sender: Optional[DeviceId] = None
     _payload_bytes: int = field(init=False, repr=False, compare=False)
+    #: On-wire size.  A stored slot, not a property: it is read at every
+    #: hop (spray, FCI check, link send) and neither the header nor the
+    #: fragments ever change after construction.
+    size_bytes: int = field(init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.header_bytes < 0:
             raise ValueError("header bytes must be non-negative")
         if self.kind is CellKind.DATA and self.voq is None:
             raise ValueError("data cells need a VOQ id")
-        # Fragments never change after construction, but size_bytes is
-        # read at every hop (spray, FCI check, link send) — memoize.
+        # Fragments never change after construction, but the sizes are
+        # read at every hop — memoize both.
         self._payload_bytes = sum(f.nbytes for f in self.fragments)
+        self.size_bytes = self.header_bytes + self._payload_bytes
 
     @classmethod
     def data(
@@ -137,17 +142,13 @@ class Cell:
         cell.reachable = None
         cell.sender = None
         cell._payload_bytes = payload_bytes
+        cell.size_bytes = header_bytes + payload_bytes
         return cell
 
     @property
     def payload_bytes(self) -> int:
         """Payload bytes carried by this cell."""
         return self._payload_bytes
-
-    @property
-    def size_bytes(self) -> int:
-        """On-wire size of the cell."""
-        return self.header_bytes + self._payload_bytes
 
     @property
     def priority(self) -> int:

@@ -271,7 +271,15 @@ class FabricElement(Entity):
             self._on_reachability_cell(payload, link)
             return
         dst_fa = payload.dst_fa
-        ports = self.eligible_ports(dst_fa)
+        # Inlined eligible_ports cache hit: the memoized per-epoch list
+        # is hit on virtually every data cell, and this method runs once
+        # per cell per hop — the call frame is measurable.
+        if self.sim.topology_epoch == self._elig_epoch:
+            ports = self._elig_cache.get(dst_fa)
+            if ports is None:
+                ports = self.eligible_ports(dst_fa)
+        else:
+            ports = self.eligible_ports(dst_fa)
         if not ports:
             self.no_route_drops += 1
             return

@@ -56,9 +56,11 @@ class SprayArbiter:
         """
         if not links:
             raise ValueError(f"no eligible links toward {dst}")
-        if self.mode == "random":
-            return self._rng.choice(list(links))
-        if self.mode == "static":
+        if self.mode != "permutation":
+            # Ablation modes, off the hot path: the common case above
+            # pays exactly one (interned) string compare.
+            if self.mode == "random":
+                return self._rng.choice(list(links))
             # ECMP-like: a fixed link per destination (ablation only).
             # Destinations are DeviceId/VoqId built on integer ids, whose
             # hashes are PYTHONHASHSEED-independent.

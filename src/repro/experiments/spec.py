@@ -157,6 +157,14 @@ class ScenarioSpec:
     #: identity, so golden digests and cache cells are shared between
     #: an instrumented spec and its plain twin.
     telemetry: Optional[Dict[str, Any]] = None
+    #: Optional engine kernel name (see :mod:`repro.sim.kernel`).
+    #: ``None`` — the default — runs the registry's default kernel.
+    #: Hash-neutral exactly like ``telemetry``: every registered kernel
+    #: is bit-identical on every golden trace (the kernel-parametrized
+    #: golden test enforces it), so which core executes a run never
+    #: changes the run's identity — cache cells and golden digests are
+    #: shared across kernels.
+    kernel: Optional[str] = None
 
     def __post_init__(self) -> None:
         if isinstance(self.topology, dict):
@@ -185,6 +193,10 @@ class ScenarioSpec:
                 self.telemetry = self.telemetry.to_dict()
             else:
                 TelemetryConfig.from_dict(self.telemetry)  # validate
+        if self.kernel is not None:
+            from repro.sim.kernel import get_kernel
+
+            get_kernel(self.kernel)  # UnknownKernelError lists known names
 
     # ------------------------------------------------------------------
     # Serialization
@@ -202,6 +214,8 @@ class ScenarioSpec:
             del data["faults"]
         if data.get("telemetry") is None:
             del data["telemetry"]
+        if data.get("kernel") is None:
+            del data["kernel"]
         return data
 
     @classmethod
@@ -224,10 +238,14 @@ class ScenarioSpec:
         The ``telemetry`` field is excluded: instrumentation observes a
         run without defining it (probes ride the event stream and never
         schedule), so an instrumented spec is the *same experiment* —
-        same cache cell, same golden digest — as its plain twin.
+        same cache cell, same golden digest — as its plain twin.  The
+        ``kernel`` field is excluded for the same reason: kernels are
+        bit-identical by contract, so which core executes a run does
+        not define the experiment either.
         """
         data = self.to_dict()
         data.pop("telemetry", None)
+        data.pop("kernel", None)
         payload = json.dumps(data, sort_keys=True)
         return hashlib.sha256(payload.encode()).hexdigest()[:24]
 

@@ -108,7 +108,11 @@ class FabricNetwork(ABC):
     ) -> None:
         self.spec = spec
         self.config = config
-        self.sim = sim or Simulator()
+        # Explicit None test: Simulator defines __len__ (pending event
+        # count), so a freshly built engine is *falsy* and `sim or
+        # Simulator()` would silently discard a caller-provided core —
+        # exactly what the kernel plumbing passes in.
+        self.sim = Simulator() if sim is None else sim
         self.plan: WiringPlan = build_wiring_plan(spec)
         self._host_sinks: Dict[PortAddress, Entity] = {}
         #: Set by :meth:`attach_faults`; ``None`` on unfaulted runs.

@@ -6,6 +6,7 @@ Examples::
     python -m repro.perf --quick             # small sizes (smoke)
     python -m repro.perf --only link         # substring filter
     python -m repro.perf --check             # exit 1 on >10% regression
+    python -m repro.perf --check --kernel batch   # gate the batch kernel
     python -m repro.perf --write-baseline    # refresh the committed baseline
     python -m repro.perf --profile 25        # cProfile each bench, top 25
     python -m repro.perf golden --check      # verify golden traces
@@ -28,7 +29,13 @@ from repro.perf import (
     profile_bench,
     suite,
 )
+from repro.perf.bench import bench_name
 from repro.perf.golden import DEFAULT_GOLDEN_DIR, check_goldens, write_goldens
+from repro.sim.kernel import (
+    UnknownKernelError,
+    get_kernel,
+    known_kernel_names,
+)
 
 #: Where the committed reference numbers live.
 DEFAULT_BASELINE = Path("benchmarks") / "perf_baseline.json"
@@ -77,6 +84,18 @@ def regressions(rows: List[dict]) -> List[dict]:
     ]
 
 
+def unbaselined(rows: List[dict]) -> List[str]:
+    """Names of benches that ran but have no baseline row to diff against.
+
+    A bench without a reference is *ungated*: it can regress arbitrarily
+    and ``--check`` would still pass.  Callers must surface these —
+    historically they were silently skipped, so adding a bench (or a
+    kernel variant) without refreshing the baseline weakened the gate
+    without anyone noticing.
+    """
+    return [r["name"] for r in rows if r["eps_ratio"] is None]
+
+
 def _fmt_table(rows: List[dict]) -> str:
     header = (
         f"{'bench':<32} {'wall[s]':>9} {'events/s':>12} "
@@ -99,15 +118,18 @@ def _fmt_table(rows: List[dict]) -> str:
 
 def cmd_profile(args) -> int:
     """Run each bench under cProfile and report the top-N hotspots."""
-    factories = bench_factories(quick=args.quick, only=args.only)
+    factories = bench_factories(
+        quick=args.quick, only=args.only, kernel=args.kernel
+    )
     if not factories:
         print(f"no bench matches --only {args.only!r}", file=sys.stderr)
         return 2
+    kernel = get_kernel(args.kernel).name
     sections = []
     for name, factory in factories:
         result, report = profile_bench(factory, args.profile)
         header = (
-            f"== {name}: {result.events:,} events, "
+            f"== {name} [kernel={kernel}]: {result.events:,} events, "
             f"{result.wall_s:.2f}s under cProfile =="
         )
         sections.append(f"{header}\n{report}")
@@ -140,7 +162,7 @@ def cmd_bench(args) -> int:
             file=sys.stderr,
         )
         args.check = args.write_baseline = False
-    results = suite(quick=args.quick, only=args.only)
+    results = suite(quick=args.quick, only=args.only, kernel=args.kernel)
     if not results:
         print(f"no bench matches --only {args.only!r}", file=sys.stderr)
         return 2
@@ -171,8 +193,28 @@ def cmd_bench(args) -> int:
     print(f"\nresults -> {args.out}")
     if baseline is None and not args.quick:
         print(f"(no baseline at {args.baseline}; ratios omitted)")
+    missing = unbaselined(rows) if baseline is not None else []
+    if missing:
+        names = ", ".join(missing)
+        print(
+            f"WARNING: no baseline row for: {names} "
+            f"(these benches are not regression-gated)",
+            file=sys.stderr,
+        )
+        if args.check and not args.allow_missing:
+            print(
+                "cannot --check: the baseline is missing benches "
+                "(refresh it with --write-baseline, or pass "
+                "--allow-missing to gate only the covered ones)",
+                file=sys.stderr,
+            )
+            return 1
     headline = next(
-        (r for r in rows if r["name"] == "permutation_default"), None
+        (
+            r for r in rows
+            if r["name"] == bench_name("permutation_default", args.kernel)
+        ),
+        None,
     )
     if headline and headline["speedup"] is not None:
         print(
@@ -241,7 +283,20 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--check", action="store_true",
         help=f"exit 1 if events/sec regresses more than "
-             f"{REGRESSION_TOLERANCE:.0%} vs the baseline",
+             f"{REGRESSION_TOLERANCE:.0%} vs the baseline, or if a "
+             f"bench has no baseline row (see --allow-missing)",
+    )
+    parser.add_argument(
+        "--allow-missing", action="store_true",
+        help="with --check: warn instead of failing when a bench has "
+             "no baseline row (gates only the covered benches)",
+    )
+    parser.add_argument(
+        "--kernel", default=None, metavar="NAME",
+        help="engine kernel to run every bench on (one of: "
+             f"{', '.join(known_kernel_names())}; default "
+             "wheel — non-default kernels get their own "
+             "'name[kernel]' rows in results and the baseline)",
     )
     parser.add_argument(
         "--profile", type=int, default=0, metavar="N",
@@ -274,6 +329,11 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     if args.command == "golden":
         return cmd_golden(args)
+    try:
+        get_kernel(args.kernel)
+    except UnknownKernelError as exc:
+        print(exc, file=sys.stderr)
+        return 2
     return cmd_bench(args)
 
 

@@ -1,0 +1,128 @@
+"""The kernel registry: engine cores are named plugins.
+
+Mirrors the fabric registry of :mod:`repro.fabrics.registry` (and the
+scenario/rule registries it mirrors in turn): a :class:`Simulator`
+subclass — or the reference class itself — registers under a name::
+
+    @kernel("batch")
+    class BatchSimulator(Simulator):
+        ...
+
+and everything downstream — ``builders.build_network``, spec
+validation, the perf suite's ``--kernel`` flag — resolves kernels with
+:func:`get_kernel` / :func:`build_simulator`.  A third kernel drops in
+by registering itself; no runner or builder code changes.
+
+The kernel **contract** is the narrow boundary the rest of the codebase
+already depends on (see :mod:`repro.sim.engine` for the reference
+semantics):
+
+* the scheduling API (``at``/``schedule``/``schedule_at``/``call_later``
+  /``rearm_at``/``call_soon``) allocates one sequence number per event,
+  in call order — ``(time_ns, seq)`` is the total firing order;
+* ``run(until, max_events)`` fires events in exactly that order, counts
+  each in ``events_fired``, and never fires a cancelled entry;
+* the probe hook (``set_probe``) samples between events on the same
+  deadlines, and the occupancy meta-metrics (``wheel_occupancy``,
+  ``spill_occupancy``, ``corpse_count``, ``pending_events``) stay
+  readable — and exact — from inside callbacks and probes.
+
+Two runs of the same spec under different registered kernels must be
+**bit-identical** (same events, same timestamps, same digests); the
+kernel-parametrized golden and invariant tests enforce this, which is
+what makes ``ScenarioSpec.kernel`` hash-neutral by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple, Type
+
+#: The kernel used when a spec leaves ``kernel`` unset: the reference
+#: calendar-wheel engine.
+DEFAULT_KERNEL = "wheel"
+
+
+class UnknownKernelError(KeyError, ValueError):
+    """Raised when a kernel name is not in the registry.
+
+    Inherits ``ValueError`` too, matching the other registries: spec
+    validation raises ``ValueError`` for bad field values, and callers
+    catching that must keep working.
+    """
+
+    def __init__(self, name: str, known: List[str]) -> None:
+        super().__init__(name)
+        self.name = name
+        self.known = known
+
+    def __str__(self) -> str:
+        return (
+            f"unknown kernel {self.name!r}; "
+            f"registered: {', '.join(self.known) or '(none)'}"
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class KernelEntry:
+    """One registered engine core."""
+
+    name: str
+    cls: Type
+    description: str = ""
+    aliases: Tuple[str, ...] = ()
+
+
+_REGISTRY: Dict[str, KernelEntry] = {}
+_ALIASES: Dict[str, str] = {}
+
+
+def kernel(name: str, description: str = "", aliases: Tuple[str, ...] = ()):
+    """Class decorator registering a :class:`Simulator` core under ``name``."""
+
+    def register(cls):
+        for candidate in (name, *aliases):
+            if candidate in _REGISTRY or candidate in _ALIASES:
+                raise ValueError(f"kernel {candidate!r} already registered")
+        doc = (cls.__doc__ or "").strip()
+        _REGISTRY[name] = KernelEntry(
+            name,
+            cls,
+            description or (doc.splitlines()[0] if doc else ""),
+            tuple(aliases),
+        )
+        for alias in aliases:
+            _ALIASES[alias] = name
+        cls.kernel_name = name
+        return cls
+
+    return register
+
+
+def get_kernel(name: str | None) -> KernelEntry:
+    """The registry entry for ``name`` (``None`` → the default kernel).
+
+    Raises :class:`UnknownKernelError` listing the known names when
+    ``name`` is not registered.
+    """
+    if name is None:
+        name = DEFAULT_KERNEL
+    try:
+        return _REGISTRY[_ALIASES.get(name, name)]
+    except KeyError:
+        raise UnknownKernelError(name, known_kernel_names()) from None
+
+
+def build_simulator(name: str | None = None):
+    """A fresh simulator running the named kernel (``None`` → default)."""
+    return get_kernel(name).cls()
+
+
+def kernel_names() -> List[str]:
+    """All registered canonical kernel names, sorted (aliases excluded)."""
+    return sorted(_REGISTRY)
+
+
+def known_kernel_names() -> List[str]:
+    """Every name :func:`get_kernel` accepts: canonical names + aliases."""
+    return sorted(_REGISTRY) + sorted(_ALIASES)

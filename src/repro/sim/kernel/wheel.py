@@ -1,0 +1,28 @@
+"""The ``wheel`` kernel: the reference calendar-wheel engine.
+
+This module registers :class:`repro.sim.engine.Simulator` — today's
+code, verbatim — as the kernel named ``wheel``.  It is the semantic
+reference every other kernel is tested against: the kernel-parametrized
+golden and scheduler-invariant suites assert byte-identical behavior,
+and a new kernel is correct exactly when those suites cannot tell it
+apart from this one.
+
+Registering the engine class itself (rather than a subclass) means a
+plain ``Simulator()`` constructed anywhere — tests, notebooks, the
+default ``build_network`` path — *is* the wheel kernel, and carries
+``kernel_name == "wheel"``.
+"""
+
+from __future__ import annotations
+
+from repro.sim.engine import Simulator
+from repro.sim.kernel.registry import kernel
+
+kernel(
+    "wheel",
+    description=(
+        "Reference calendar-wheel + spill-heap engine; one Python "
+        "callback frame per event."
+    ),
+    aliases=("reference",),
+)(Simulator)
