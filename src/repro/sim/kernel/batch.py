@@ -21,9 +21,11 @@ frames beyond the device callback itself:
   spill-head / horizon / probe state from scratch per event.  Here,
   once a bucket is sorted, an inner loop drains it against a single
   precomputed bound (min of horizon and next probe deadline) and a
-  cached spill-head time that is only refreshed when a callback
-  actually touched the spill heap (watched via ``len``) — the
-  per-event cost of the merge drops to two int compares.
+  cached spill-head *entry* whose time is only re-read when a callback
+  actually installed a different head (watched by identity — pushes,
+  pops and compaction all swap the head object, and an in-heap entry's
+  key is never mutated) — the per-event cost of the merge drops to two
+  int compares plus one identity check.
 * **``array('q')`` train columns.**  When a link's train runs through a
   same-size run of queued cells, the completion times are an arithmetic
   progression; the step materializes them into a flat ``array('q')``
@@ -401,17 +403,24 @@ class BatchSimulator(Simulator):
                 # Bound: the drain may fire any entry strictly before
                 # the next probe deadline, at or before the horizon, and
                 # strictly before the spill head (ties go to the outer
-                # loop's exact (time, seq) compare).  The spill head is
-                # cached and only refreshed when a callback changed the
-                # heap's length (pushes and compaction both do; a
-                # cancellation leaves head time/seq untouched).
+                # loop's exact (time, seq) compare).  The spill head
+                # *entry* is cached and the bound recomputed whenever a
+                # callback installed a different head object — watching
+                # ``len`` is not enough, because a compaction (removing
+                # N corpses) plus N pushes leaves the length unchanged
+                # while the new head may be earlier.  Identity is exact:
+                # pushes, pops and compaction all swap the head object,
+                # and an in-heap entry's (time, seq) key is never
+                # mutated (rearm requires a popped, spent entry).  A
+                # cancellation nulls head[2] in place but keeps its key,
+                # so the stale bound is merely conservative and the
+                # outer loop drops the corpse.
                 lim = probe_due - 1
                 if horizon < lim:
                     lim = horizon
-                nspill = len(spill)
-                spill_time = spill[0][0] if nspill else _NEVER
-                if spill_time < lim:
-                    lim = spill_time - 1
+                head = spill[0] if spill else None
+                if head is not None and head[0] < lim:
+                    lim = head[0] - 1
                 while due:
                     e = due[-1]
                     time_ns = e[0]
@@ -435,14 +444,14 @@ class BatchSimulator(Simulator):
                         fn()
                     self._events_fired += 1
                     fired += 1
-                    if len(spill) != nspill:
-                        nspill = len(spill)
-                        spill_time = spill[0][0] if nspill else _NEVER
+                    h = spill[0] if spill else None
+                    if h is not head:
+                        head = h
                         lim = probe_due - 1
                         if horizon < lim:
                             lim = horizon
-                        if spill_time < lim:
-                            lim = spill_time - 1
+                        if h is not None and h[0] < lim:
+                            lim = h[0] - 1
         finally:
             self._cursor = cursor
             self._running = False

@@ -167,6 +167,43 @@ def test_cancel_then_compact_under_churn_keeps_order_and_counts(sim_cls):
     assert sim.pending <= Simulator.COMPACT_MIN_CANCELLED * 2
 
 
+def test_compact_with_offsetting_pushes_mid_drain_keeps_order(sim_cls):
+    """Regression (batch kernel drain bound): a callback that cancels
+    past ``COMPACT_MIN_CANCELLED`` (so compaction removes N corpses in
+    place) and pushes an offsetting number of new spill entries leaves
+    ``len(spill)`` unchanged while installing an *earlier* spill head.
+    A drain bound watching only the heap's length then fires the rest
+    of the bucket (67/68/70) before the earlier spill event (66),
+    sending the clock non-monotonic and diverging from the wheel
+    kernel's (time, seq) order."""
+    sim = sim_cls()
+    fired = []
+    n = Simulator.COMPACT_MIN_CANCELLED + 1
+    far = 1_000_000
+    handles = [sim.at(far + i, lambda: None) for i in range(n + 4)]
+
+    def storm():
+        fired.append(sim.now)
+        # Cancel enough to cross the compaction threshold: the corpses
+        # are dropped from the spill heap in place...
+        for handle in handles[:n]:
+            handle.cancel()
+        # ...and an equal number of pushes restores len(spill) exactly,
+        # with the new head (t=66) earlier than the remainder of the
+        # bucket currently being drained.
+        sim.at(66, lambda: fired.append(sim.now))
+        for i in range(n - 1):
+            sim.at(2 * far + i, lambda: None)
+
+    sim.schedule_at(64, lambda: fired.append(sim.now))
+    sim.schedule_at(65, storm)
+    for t in (67, 68, 70):
+        sim.schedule_at(t, lambda: fired.append(sim.now))
+    sim.run(until=100)
+    assert fired == [64, 65, 66, 67, 68, 70]
+    assert fired == sorted(fired), "sim clock went non-monotonic"
+
+
 def test_pending_events_excludes_corpses_exactly(sim_cls):
     """Regression (engine accounting): the raw structure length counts
     lazily-deleted corpses until compaction happens to run;
